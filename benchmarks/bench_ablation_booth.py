@@ -1,0 +1,76 @@
+"""Ablation B2: partial-product generation — AND array vs radix-4 Booth.
+
+The paper flattens multiplications with a plain AND array; Booth recoding is
+the standard alternative that halves the number of partial-product rows at the
+cost of per-bit encoder gates.  This ablation runs FA_AOT on the two
+wide-multiplier benchmarks (Kalman, Complex) with both generators and compares
+matrix size, compressor size, area and delay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.designs.registry import get_design
+from repro.flows.synthesis import synthesize
+from repro.utils.tables import TextTable
+
+_DESIGNS = ["kalman", "complex"]
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("design_name", _DESIGNS)
+def test_booth_vs_and_array(benchmark, design_name, library):
+    design = get_design(design_name)
+
+    def run():
+        return {
+            style: synthesize(
+                design, method="fa_aot", library=library, multiplication_style=style
+            )
+            for style in ("and_array", "booth")
+        }
+
+    per_style = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[design_name] = per_style
+
+    and_array = per_style["and_array"]
+    booth = per_style["booth"]
+    # Booth must reduce the number of addends to compress (its whole point).
+    assert (
+        booth.matrix_build.matrix.total_addends()
+        < and_array.matrix_build.matrix.total_addends()
+    )
+    assert booth.fa_count < and_array.fa_count
+
+
+def test_booth_report(benchmark):
+    if not _RESULTS:
+        pytest.skip("no sweep results in this session")
+
+    def render() -> str:
+        table = TextTable(
+            ["design", "pp style", "matrix addends", "FA", "HA", "cells", "area", "delay (ns)"],
+            float_digits=3,
+        )
+        for design_name, per_style in _RESULTS.items():
+            for style in ("and_array", "booth"):
+                result = per_style[style]
+                table.add_row(
+                    [
+                        design_name,
+                        style,
+                        result.matrix_build.matrix.total_addends(),
+                        result.fa_count,
+                        result.ha_count,
+                        result.cell_count,
+                        result.area,
+                        result.delay_ns,
+                    ]
+                )
+        return table.render(
+            title="Ablation B2 - AND-array vs radix-4 Booth partial products (FA_AOT)"
+        )
+
+    save_report("ablation_booth", benchmark.pedantic(render, rounds=1, iterations=1))

@@ -1,0 +1,86 @@
+"""Ablation C: sensitivity of the FA_AOT gain to Ds/Dc ratio and arrival skew.
+
+Two sweeps on the IIR benchmark:
+
+* the FA sum/carry delay pair (Ds, Dc) is scaled over a range of ratios — the
+  FA_AOT-vs-Wallace gap must survive every ratio (the default library's values
+  are not load-bearing for the paper's conclusion);
+* the arrival skew of the live input sample is swept from 0 to 1.6 ns — the
+  gap must grow with the skew, since exploiting uneven arrival profiles is the
+  entire point of the algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.designs.registry import get_design
+from repro.expr.signals import SignalSpec
+from repro.flows.compare import improvement_pct
+from repro.flows.synthesis import synthesize
+from repro.tech.default_libs import scaled_library
+from repro.utils.tables import TextTable
+
+_FA_DELAY_PAIRS = [(0.30, 0.30), (0.42, 0.28), (0.60, 0.20), (0.84, 0.56)]
+_SKEWS = [0.0, 0.4, 0.8, 1.6]
+
+
+def test_ds_dc_ratio_sweep(benchmark):
+    design = get_design("iir")
+
+    def run():
+        rows = []
+        for sum_delay, carry_delay in _FA_DELAY_PAIRS:
+            library = scaled_library(sum_delay, carry_delay)
+            aot = synthesize(design, method="fa_aot", library=library)
+            wallace = synthesize(design, method="wallace", library=library)
+            rows.append((sum_delay, carry_delay, aot.delay_ns, wallace.delay_ns))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(["Ds", "Dc", "fa_aot delay", "wallace delay", "gain %"], float_digits=3)
+    for sum_delay, carry_delay, aot_delay, wallace_delay in rows:
+        table.add_row(
+            [sum_delay, carry_delay, aot_delay, wallace_delay,
+             improvement_pct(wallace_delay, aot_delay)]
+        )
+    save_report(
+        "ablation_ds_dc",
+        table.render(title="Ablation C1 - FA_AOT vs Wallace across FA delay parameters (IIR)"),
+    )
+    for _, _, aot_delay, wallace_delay in rows:
+        assert aot_delay <= wallace_delay + 1e-9
+
+
+def test_arrival_skew_sweep(benchmark, library):
+    base = get_design("iir")
+
+    def run():
+        rows = []
+        for skew in _SKEWS:
+            signals = dict(base.signals)
+            signals["x0"] = SignalSpec("x0", 8, arrival=skew)
+            design = base.with_signals(signals)
+            aot = synthesize(design, method="fa_aot", library=library)
+            wallace = synthesize(design, method="wallace", library=library)
+            rows.append((skew, aot.delay_ns, wallace.delay_ns))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(["x0 arrival skew (ns)", "fa_aot delay", "wallace delay", "gain %"],
+                      float_digits=3)
+    gains = []
+    for skew, aot_delay, wallace_delay in rows:
+        gain = improvement_pct(wallace_delay, aot_delay)
+        gains.append(gain)
+        table.add_row([skew, aot_delay, wallace_delay, gain])
+    save_report(
+        "ablation_arrival_skew",
+        table.render(title="Ablation C2 - FA_AOT gain vs input arrival skew (IIR)"),
+    )
+    # The gain with a strong skew must exceed the gain with no skew.
+    assert gains[-1] >= gains[0] - 1e-9
+    assert all(aot <= wallace + 1e-9 for _, aot, wallace in rows)

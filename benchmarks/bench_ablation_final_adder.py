@@ -1,0 +1,60 @@
+"""Ablation A: sensitivity of the FA_AOT result to the final-adder architecture.
+
+The paper treats the final adder as a free parameter ("the final adder of the
+FA-tree can be implemented with any of several types of modules"); this
+ablation quantifies how much of the end-to-end delay it accounts for by
+synthesizing the same FA_AOT trees with ripple, carry-select, carry-lookahead
+and Kogge-Stone final adders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.adders.factory import FINAL_ADDER_KINDS
+from repro.designs.registry import get_design
+from repro.flows.synthesis import synthesize
+from repro.utils.tables import TextTable
+
+_DESIGNS = ["x2_plus_x_plus_y", "mixed_products", "iir"]
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("design_name", _DESIGNS)
+def test_final_adder_sweep(benchmark, design_name, library):
+    design = get_design(design_name)
+
+    def run():
+        return {
+            kind: synthesize(design, method="fa_aot", library=library, final_adder=kind)
+            for kind in FINAL_ADDER_KINDS
+        }
+
+    per_kind = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[design_name] = per_kind
+
+    delays = {kind: result.delay_ns for kind, result in per_kind.items()}
+    assert delays["kogge_stone"] <= delays["ripple"] + 1e-9
+    assert delays["cla"] <= delays["ripple"] + 1e-9
+
+
+def test_final_adder_report(benchmark):
+    if not _RESULTS:
+        pytest.skip("no sweep results in this session")
+
+    def render() -> str:
+        kinds = list(FINAL_ADDER_KINDS)
+        delay_table = TextTable(["design"] + [f"{k} delay" for k in kinds], float_digits=3)
+        area_table = TextTable(["design"] + [f"{k} area" for k in kinds], float_digits=0)
+        for design_name, per_kind in _RESULTS.items():
+            delay_table.add_row([design_name] + [per_kind[k].delay_ns for k in kinds])
+            area_table.add_row([design_name] + [per_kind[k].area for k in kinds])
+        return "\n\n".join(
+            [
+                delay_table.render(title="Ablation A - FA_AOT delay vs final-adder architecture"),
+                area_table.render(title="Ablation A - FA_AOT area vs final-adder architecture"),
+            ]
+        )
+
+    save_report("ablation_final_adder", benchmark.pedantic(render, rounds=1, iterations=1))

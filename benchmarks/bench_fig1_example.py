@@ -1,0 +1,51 @@
+"""Benchmark regenerating Figure 1: FA allocation for F = X + Y + Z + W.
+
+The figure's point is structural: the four-operand addition (2/2/1/2-bit
+operands) flattens into a two-column addend matrix, two full adders reduce it
+to two rows, and a single final adder produces the sum.  The report shows the
+initial matrix, the allocated FA-tree and the reduced matrix.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.bitmatrix.builder import build_addend_matrix
+from repro.core.delay_model import FADelayModel
+from repro.core.fa_aot import fa_aot
+from repro.expr.parser import parse_expression
+from repro.expr.signals import SignalSpec
+
+
+def test_fig1_fa_allocation(benchmark):
+    expression = parse_expression("x + y + z + w")
+    signals = {
+        "x": SignalSpec("x", 2),
+        "y": SignalSpec("y", 2),
+        "z": SignalSpec("z", 1),
+        "w": SignalSpec("w", 2),
+    }
+
+    def run():
+        build = build_addend_matrix(expression, signals, 3)
+        result = fa_aot(build.netlist, build.matrix, FADelayModel.paper_example())
+        return build, result
+
+    build, result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 1 - FA allocation for F = X + Y + Z + W", ""]
+    lines.append("Initial addend matrix (heights per column, LSB first): "
+                 f"{build.matrix.heights()}")
+    lines.append(build.matrix.dump())
+    lines.append("")
+    lines.append(f"Allocated full adders : {result.fa_count} (paper: 2)")
+    lines.append(f"Allocated half adders : {result.ha_count}")
+    lines.append(f"Reduced matrix heights: {result.final_heights()} (every column <= 2)")
+    for index, reduction in enumerate(result.column_reductions):
+        for cell in reduction.fa_cells:
+            inputs = ", ".join(net.name for net in cell.input_nets())
+            lines.append(f"  column {index}: FA({inputs})")
+    save_report("fig1_fa_allocation", "\n".join(lines))
+
+    assert build.matrix.heights() == [4, 3, 0]
+    assert result.fa_count == 2
+    assert all(height <= 2 for height in result.final_heights())

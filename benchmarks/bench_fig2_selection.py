@@ -1,0 +1,64 @@
+"""Benchmark regenerating Figure 2: effect of FA input selection on timing.
+
+Three allocations of the same two-column addend matrix (Ds=2, Dc=1, the
+skewed arrival profile of the figure):
+
+* (a) the arrival-blind Wallace selection        -> final arrival 9,
+* (b) earliest-arrival selection per column, but
+      carries excluded from FA inputs (isolation) -> final arrival 9,
+* (c) the paper's column-interaction FA_AOT       -> final arrival 8.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.baselines.wallace import wallace_reduce
+from repro.bitmatrix.addend import Addend
+from repro.bitmatrix.matrix import AddendMatrix
+from repro.core.delay_model import FADelayModel
+from repro.core.fa_aot import fa_aot
+from repro.core.power_model import FAPowerModel
+from repro.netlist.core import Netlist
+from repro.utils.tables import TextTable
+
+MODEL = FADelayModel(2.0, 1.0)
+POWER = FAPowerModel(1.0, 1.0)
+
+
+def _matrix(netlist: Netlist) -> AddendMatrix:
+    matrix = AddendMatrix(4, name="figure2")
+    for name, arrival in (("x0", 7.0), ("y0", 2.0), ("z0", 3.0), ("w0", 5.0)):
+        matrix.add(Addend(netlist.add_net(name), 0, arrival))
+    for name, arrival in (("x1", 7.0), ("y1", 5.0), ("w1", 4.0)):
+        matrix.add(Addend(netlist.add_net(name), 1, arrival))
+    return matrix
+
+
+def test_fig2_selection_effect(benchmark):
+    def run():
+        outcomes = {}
+        netlist_a = Netlist("fig2a")
+        outcomes["wallace (fig 2a)"] = wallace_reduce(netlist_a, _matrix(netlist_a), MODEL, POWER)
+        netlist_b = Netlist("fig2b")
+        outcomes["column isolation (fig 2b)"] = fa_aot(
+            netlist_b, _matrix(netlist_b), MODEL, column_interaction=False
+        )
+        netlist_c = Netlist("fig2c")
+        outcomes["column interaction / FA_AOT (fig 2c)"] = fa_aot(netlist_c, _matrix(netlist_c), MODEL)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(["allocation scheme", "final-adder worst input arrival", "paper"])
+    paper = {"wallace (fig 2a)": 9, "column isolation (fig 2b)": 9,
+             "column interaction / FA_AOT (fig 2c)": 8}
+    for name, result in outcomes.items():
+        table.add_row([name, result.max_final_arrival, paper[name]])
+    report = table.render(
+        title="Figure 2 - effect of FA input selection (Ds=2, Dc=1, skewed arrivals)"
+    )
+    save_report("fig2_selection", report)
+
+    assert outcomes["wallace (fig 2a)"].max_final_arrival == 9.0
+    assert outcomes["column isolation (fig 2b)"].max_final_arrival == 9.0
+    assert outcomes["column interaction / FA_AOT (fig 2c)"].max_final_arrival == 8.0

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 3: single-column matrix reduction (m = 6).
+
+Six single-bit addends in one column are reduced by SC_T to a final matrix
+with two rows: two signals stay in column 0 and the two carry-outs form
+column 1 — exactly the 2x2 "reduced final matrix" of Figure 3.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.bitmatrix.addend import Addend
+from repro.core.delay_model import FADelayModel
+from repro.core.sc_t import sc_t
+from repro.netlist.core import Netlist
+from repro.utils.tables import TextTable
+
+
+def test_fig3_single_column_reduction(benchmark):
+    def run():
+        netlist = Netlist("fig3")
+        addends = [Addend(netlist.add_net(f"x{i+1}1"), 0, float(i)) for i in range(6)]
+        return sc_t(netlist, addends, delay_model=FADelayModel.paper_example())
+
+    reduction = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(["quantity", "value", "paper (figure 3)"])
+    table.add_row(["initial addends in column 0", 6, 6])
+    table.add_row(["full adders allocated", reduction.fa_count, 2])
+    table.add_row(["half adders allocated", reduction.ha_count, 0])
+    table.add_row(["signals left in column 0", len(reduction.remaining), 2])
+    table.add_row(["carry signals for column 1", len(reduction.carries), 2])
+    save_report(
+        "fig3_single_column",
+        table.render(title="Figure 3 - reduction of a single 6-addend column"),
+    )
+
+    assert reduction.fa_count == 2
+    assert len(reduction.remaining) == 2
+    assert len(reduction.carries) == 2

@@ -1,0 +1,100 @@
+"""Scaling study: FA_AOT runtime and netlist size vs problem size.
+
+Two sweeps of synthetic designs:
+
+* a growing multi-operand addition (4 to 32 operands of 16 bits),
+* a growing multiply-accumulate (operand widths 4 to 20 bits).
+
+The allocation algorithm is a per-column greedy with sorting, so the runtime
+is expected to grow roughly linearly with the number of matrix addends; the
+benchmark records wall-clock time per synthesis together with cell counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_report
+from repro.designs.base import DatapathDesign
+from repro.expr.ast import Var, sum_of
+from repro.expr.signals import SignalSpec
+from repro.flows.synthesis import synthesize
+from repro.utils.tables import TextTable
+
+
+def _sum_design(operands: int, width: int) -> DatapathDesign:
+    names = [f"a{i}" for i in range(operands)]
+    return DatapathDesign(
+        name=f"sum_{operands}x{width}",
+        title=f"sum of {operands} operands ({width}-bit)",
+        expression=sum_of(Var(name) for name in names),
+        signals={name: SignalSpec(name, width) for name in names},
+        output_width=width + operands.bit_length(),
+        description="Synthetic scaling design.",
+    )
+
+
+def _mac_design(width: int) -> DatapathDesign:
+    a, b, c, d, acc = (Var(n) for n in ("a", "b", "c", "d", "acc"))
+    return DatapathDesign(
+        name=f"mac_{width}",
+        title=f"a*b + c*d + acc ({width}-bit)",
+        expression=a * b + c * d + acc,
+        signals={
+            "a": SignalSpec("a", width),
+            "b": SignalSpec("b", width),
+            "c": SignalSpec("c", width),
+            "d": SignalSpec("d", width),
+            "acc": SignalSpec("acc", 2 * width),
+        },
+        output_width=2 * width + 1,
+        description="Synthetic scaling design.",
+    )
+
+
+def test_scaling_operand_count(benchmark, library):
+    def run():
+        rows = []
+        for operands in (4, 8, 16, 32):
+            design = _sum_design(operands, 16)
+            start = time.perf_counter()
+            result = synthesize(design, method="fa_aot", library=library)
+            elapsed = time.perf_counter() - start
+            rows.append((operands, result.matrix_build.matrix.total_addends(),
+                         result.cell_count, result.delay_ns, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["operands", "matrix addends", "cells", "delay (ns)", "synthesis time (s)"],
+        float_digits=3,
+    )
+    for row in rows:
+        table.add_row(list(row))
+    save_report("scaling_operand_count",
+                table.render(title="Scaling - multi-operand addition (16-bit operands)"))
+    assert all(rows[i][2] < rows[i + 1][2] for i in range(len(rows) - 1))
+
+
+def test_scaling_operand_width(benchmark, library):
+    def run():
+        rows = []
+        for width in (4, 8, 12, 16, 20):
+            design = _mac_design(width)
+            start = time.perf_counter()
+            result = synthesize(design, method="fa_aot", library=library)
+            elapsed = time.perf_counter() - start
+            rows.append((width, result.matrix_build.matrix.total_addends(),
+                         result.cell_count, result.delay_ns, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["operand width", "matrix addends", "cells", "delay (ns)", "synthesis time (s)"],
+        float_digits=3,
+    )
+    for row in rows:
+        table.add_row(list(row))
+    save_report("scaling_operand_width",
+                table.render(title="Scaling - multiply-accumulate vs operand width"))
+    assert all(rows[i][1] < rows[i + 1][1] for i in range(len(rows) - 1))

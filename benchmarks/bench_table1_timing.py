@@ -1,0 +1,67 @@
+"""Benchmark regenerating the paper's Table 1 (timing-optimized designs).
+
+For every design row of Table 1, the conventional operator-level flow, the
+word-level CSA_OPT allocator and the paper's FA_AOT algorithm are synthesized
+and analysed; the resulting delay/area table — together with the published
+improvement percentages — is written to ``benchmarks/results/table1.txt``.
+
+The absolute nanosecond/area values cannot match the paper (different library,
+different logic optimizer); the assertions check the *shape* that must
+reproduce: FA_AOT is never slower than CSA_OPT, and never slower than the
+conventional flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.designs.registry import TABLE1_DESIGN_NAMES, get_design
+from repro.flows.compare import ComparisonRow, compare_methods
+from repro.report.tables import table1_report
+
+_ROWS: Dict[str, ComparisonRow] = {}
+_METHODS = ["conventional", "csa_opt", "fa_aot"]
+
+
+@pytest.mark.parametrize("design_name", TABLE1_DESIGN_NAMES)
+def test_table1_row(benchmark, design_name, library):
+    """Synthesize one Table 1 row with all three methods (timed once)."""
+    design = get_design(design_name)
+
+    def run() -> ComparisonRow:
+        return compare_methods(design, _METHODS, library=library)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS[design_name] = row
+
+    # Shape of the paper's result: bit-level arrival-driven allocation never
+    # loses to the word-level allocator or to the conventional flow.
+    assert row.delay("fa_aot") <= row.delay("csa_opt") * 1.02 + 1e-6
+    assert row.delay("fa_aot") <= row.delay("conventional") + 1e-6
+    # The compressor-tree methods also avoid the conventional flow's
+    # per-operator carry-propagate adders on every multi-operand design.
+    if design.expression.node_count() > 3:
+        assert row.delay("csa_opt") <= row.delay("conventional") * 1.10 + 1e-6
+
+
+def test_table1_report(benchmark):
+    """Assemble and store the full Table 1 report (requires the row tests)."""
+    rows = [_ROWS[name] for name in TABLE1_DESIGN_NAMES if name in _ROWS]
+    if not rows:
+        pytest.skip("table 1 rows were not synthesized in this session")
+
+    def render() -> str:
+        return table1_report(rows)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    save_report("table1", text)
+
+    improvements = [row.delay_improvement("conventional", "fa_aot") for row in rows]
+    average = sum(improvements) / len(improvements)
+    # The paper reports 37.8% average improvement over the conventional flow;
+    # with our stand-in library the reproduced average must at least show a
+    # clearly positive double-digit-ish gain.
+    assert average > 10.0

@@ -1,0 +1,56 @@
+"""Benchmark regenerating the paper's Table 2 (power-optimized designs).
+
+Each Table 2 design gets random per-bit input signal probabilities (the
+paper's protocol), is synthesized with random FA input selection (FA_random)
+and with FA_ALP, and the compressor-tree switching energies E_switching(T) are
+compared.  The report is written to ``benchmarks/results/table2.txt``.
+
+The assertion encodes the paper's qualitative claim: FA_ALP consistently
+consumes no more switching energy than random selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.designs.registry import TABLE2_DESIGN_NAMES, get_design, with_random_probabilities
+from repro.flows.compare import ComparisonRow, compare_methods
+from repro.report.tables import table2_report
+
+_ROWS: Dict[str, ComparisonRow] = {}
+_SEED = 2000
+
+
+@pytest.mark.parametrize("design_name", TABLE2_DESIGN_NAMES)
+def test_table2_row(benchmark, design_name, library):
+    """Synthesize one Table 2 row with FA_random and FA_ALP (timed once)."""
+    design = with_random_probabilities(get_design(design_name), seed=_SEED)
+
+    def run() -> ComparisonRow:
+        return compare_methods(design, ["fa_random", "fa_alp"], library=library, seed=_SEED)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS[design_name] = row
+    assert row.tree_energy("fa_alp") <= row.tree_energy("fa_random") * 1.02
+
+
+def test_table2_report(benchmark):
+    """Assemble and store the full Table 2 report."""
+    rows = [_ROWS[name] for name in TABLE2_DESIGN_NAMES if name in _ROWS]
+    if not rows:
+        pytest.skip("table 2 rows were not synthesized in this session")
+
+    def render() -> str:
+        return table2_report(rows)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    save_report("table2", text)
+
+    improvements = [row.energy_improvement("fa_random", "fa_alp") for row in rows]
+    average = sum(improvements) / len(improvements)
+    # Paper average: 11.8%.  The reproduced average must be positive (FA_ALP
+    # helps consistently); its magnitude depends on the random probability draw.
+    assert average > 0.0

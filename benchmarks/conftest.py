@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark writes its human-readable report (the regenerated table or
+figure) both to stdout and to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's capture and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def save_report(name: str, text: str) -> pathlib.Path:
+    """Write a benchmark report to benchmarks/results/<name>.txt and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / f"{name}.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return target
+
+
+@pytest.fixture(scope="session")
+def library():
+    """Technology library shared by all benchmarks."""
+    from repro.tech.default_libs import generic_035
+
+    return generic_035()

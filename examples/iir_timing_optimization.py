@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Timing optimization of an IIR biquad datapath (paper Table 1, IIR row).
+
+This example reproduces the paper's main timing experiment on one design:
+
+* the IIR benchmark (direct-form-I biquad accumulator, 16-bit output) is
+  synthesized with the conventional operator-level flow, the authors' earlier
+  word-level CSA_OPT allocator and the paper's bit-level FA_AOT algorithm;
+* static timing analysis reports the critical path of each implementation;
+* the example shows how the gain comes specifically from the uneven arrival
+  profile of the live input sample by re-running FA_AOT with all arrivals
+  forced to zero.
+
+Run with:  python examples/iir_timing_optimization.py
+"""
+
+from repro.designs.registry import get_design
+from repro.expr.signals import SignalSpec
+from repro.flows.compare import compare_methods, improvement_pct
+from repro.flows.synthesis import synthesize
+from repro.tech.default_libs import generic_035
+from repro.timing.arrival import compute_arrival_times
+from repro.timing.critical_path import extract_critical_path
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    library = generic_035()
+    design = get_design("iir")
+    print(design.summary())
+    print(f"expression: {design.expression}\n")
+
+    # --- Table-1 style comparison --------------------------------------------
+    methods = ["conventional", "csa_opt", "fa_aot"]
+    row = compare_methods(design, methods, library=library)
+    table = TextTable(["method", "delay (ns)", "area", "FA", "HA", "cells"])
+    for method in methods:
+        result = row.results[method]
+        table.add_row(
+            [method, result.delay_ns, result.area, result.fa_count, result.ha_count,
+             result.cell_count]
+        )
+    print(table.render(title="IIR biquad: timing-driven synthesis"))
+    print(
+        f"\nFA_AOT delay improvement: "
+        f"{row.delay_improvement('conventional', 'fa_aot'):.1f}% vs conventional, "
+        f"{row.delay_improvement('csa_opt', 'fa_aot'):.1f}% vs CSA_OPT "
+        f"(paper reports 43.9% and 22.5% for this design)\n"
+    )
+
+    # --- Critical path of the FA_AOT implementation --------------------------
+    best = row.results["fa_aot"]
+    timing = compute_arrival_times(best.netlist, library)
+    path = extract_critical_path(best.netlist, library, timing)
+    print(f"FA_AOT critical path ({len(path)} stages, {timing.delay:.3f} ns):")
+    for step in path[-8:]:
+        print(f"  {step.describe()}")
+
+    # --- Where does the gain come from? --------------------------------------
+    # Flatten the arrival profile: with every input at t=0 the arrival-driven
+    # selection has nothing special to exploit and FA_AOT degenerates to an
+    # ordinary (still good) compressor tree.
+    flat_signals = {
+        name: SignalSpec(name, spec.width, arrival=0.0, probability=spec.probability)
+        for name, spec in design.signals.items()
+    }
+    flat_design = design.with_signals(flat_signals)
+    skewed = synthesize(design, method="fa_aot", library=library)
+    flat = synthesize(flat_design, method="fa_aot", library=library)
+    flat_wallace = synthesize(flat_design, method="wallace", library=library)
+    print("\nEffect of the arrival profile on the FA_AOT result:")
+    print(f"  skewed arrivals (as in the benchmark): {skewed.delay_ns:.3f} ns")
+    print(f"  flat arrivals, FA_AOT               : {flat.delay_ns:.3f} ns")
+    print(f"  flat arrivals, Wallace              : {flat_wallace.delay_ns:.3f} ns")
+    print(
+        "  -> with a flat profile FA_AOT and Wallace are close; the paper's gain "
+        "comes from exploiting per-bit arrival skew."
+    )
+    gain = improvement_pct(flat_wallace.delay_ns, flat.delay_ns)
+    print(f"  residual FA_AOT gain on a flat profile: {gain:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

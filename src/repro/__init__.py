@@ -1,0 +1,59 @@
+"""repro: fine-grained arithmetic optimization for datapath synthesis.
+
+This package reproduces the system described in
+
+    Junhyung Um, Taewhan Kim, C. L. Liu,
+    "A Fine-Grained Arithmetic Optimization Technique for
+    High-Performance/Low-Power Data Path Synthesis", DAC 2000.
+
+The central idea is to flatten an arithmetic expression made of additions,
+subtractions and multiplications into a single bit-level addend matrix, and to
+reduce that matrix with full adders (FAs) and half adders (HAs) whose inputs
+are chosen either by signal *arrival time* (algorithm ``FA_AOT``, producing a
+delay-optimal carry-save structure) or by signal *switching activity*
+(algorithm ``FA_ALP``, reducing power).  The reduced matrix (two rows) is then
+summed by a single carry-propagate final adder.
+
+Public entry points
+-------------------
+``repro.flows.synthesize``
+    End-to-end synthesis of a datapath design with a chosen allocation method.
+``repro.designs``
+    The benchmark designs evaluated in the paper (IIR, Kalman, IDCT, ...).
+``repro.core``
+    The FA-tree allocation algorithms themselves.
+``repro.baselines``
+    Wallace, Dadda, word-level CSA_OPT and conventional operator-level RTL
+    synthesis used as comparison points.
+
+Quickstart
+----------
+>>> from repro.designs import get_design
+>>> from repro.flows import synthesize
+>>> design = get_design("x2_plus_x_plus_y")
+>>> result = synthesize(design, method="fa_aot")
+>>> result.delay_ns > 0
+True
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    NetlistError,
+    ExpressionError,
+    AllocationError,
+    LibraryError,
+    SimulationError,
+    DesignError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "NetlistError",
+    "ExpressionError",
+    "AllocationError",
+    "LibraryError",
+    "SimulationError",
+    "DesignError",
+]

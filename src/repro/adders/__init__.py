@@ -1,0 +1,24 @@
+"""Carry-propagate (final) adder generators.
+
+After compressor-tree reduction every column holds at most two addends; these
+modules build the single carry-propagate adder that sums the two remaining
+rows.  The paper notes the final adder "can be implemented with any of several
+types of modules" — four common architectures are provided, all emitting
+bit-level netlists so timing/power/area are measured with the same engines as
+the tree itself.
+"""
+
+from repro.adders.factory import FINAL_ADDER_KINDS, build_final_adder
+from repro.adders.ripple import ripple_carry_adder
+from repro.adders.cla import carry_lookahead_adder
+from repro.adders.carry_select import carry_select_adder
+from repro.adders.kogge_stone import kogge_stone_adder
+
+__all__ = [
+    "FINAL_ADDER_KINDS",
+    "build_final_adder",
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "carry_select_adder",
+    "kogge_stone_adder",
+]

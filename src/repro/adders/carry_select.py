@@ -1,0 +1,67 @@
+"""Carry-select final adder (uniform block size, ripple inside blocks)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.adders.common import mux2, normalize_operand
+from repro.netlist.cells import CellType
+from repro.netlist.core import Bus, Net, Netlist
+
+
+def _ripple_block(
+    netlist: Netlist,
+    bits_a: Sequence[Net],
+    bits_b: Sequence[Net],
+    carry_in: Net,
+) -> Tuple[List[Net], Net]:
+    """Ripple-add a block with an explicit carry-in; return (sums, carry_out)."""
+    sums: List[Net] = []
+    carry = carry_in
+    for a, b in zip(bits_a, bits_b):
+        cell = netlist.add_cell(CellType.FA, {"a": a, "b": b, "cin": carry})
+        sums.append(cell.outputs["s"])
+        carry = cell.outputs["co"]
+    return sums, carry
+
+
+def carry_select_adder(
+    netlist: Netlist,
+    operand_a: Sequence[Optional[Net]],
+    operand_b: Sequence[Optional[Net]],
+    width: int,
+    name: str = "sum",
+    block_size: int = 4,
+) -> Bus:
+    """Sum two LSB-first operands with a carry-select structure.
+
+    The first block is a plain ripple block with carry-in 0; every later block
+    is computed twice (carry-in 0 and 1) and the real carry selects between
+    the two candidate sums with MUX2 cells.
+    """
+    bits_a = normalize_operand(netlist, operand_a, width)
+    bits_b = normalize_operand(netlist, operand_b, width)
+    zero = netlist.const(0)
+    one = netlist.const(1)
+
+    sums: List[Net] = []
+    first_end = min(block_size, width)
+    block_sums, carry = _ripple_block(
+        netlist, bits_a[:first_end], bits_b[:first_end], zero
+    )
+    sums.extend(block_sums)
+
+    start = first_end
+    while start < width:
+        end = min(start + block_size, width)
+        sums_zero, carry_zero = _ripple_block(
+            netlist, bits_a[start:end], bits_b[start:end], zero
+        )
+        sums_one, carry_one = _ripple_block(
+            netlist, bits_a[start:end], bits_b[start:end], one
+        )
+        for low, high in zip(sums_zero, sums_one):
+            sums.append(mux2(netlist, low, high, carry))
+        carry = mux2(netlist, carry_zero, carry_one, carry)
+        start = end
+    return Bus(name, sums)

@@ -1,0 +1,77 @@
+"""Shared helpers for the adder generators."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType
+from repro.netlist.core import Net, Netlist
+
+
+def normalize_operand(
+    netlist: Netlist, bits: Sequence[Optional[Net]], width: int
+) -> List[Net]:
+    """Pad/truncate an LSB-first bit list to ``width``, mapping ``None`` to 0.
+
+    The compressor tree legitimately leaves holes (columns that ended with
+    fewer than two addends); the adders treat them as constant zeros.
+    """
+    if width <= 0:
+        raise NetlistError(f"adder width must be positive, got {width}")
+    zero = netlist.const(0)
+    padded: List[Net] = []
+    for index in range(width):
+        bit = bits[index] if index < len(bits) else None
+        padded.append(bit if bit is not None else zero)
+    return padded
+
+
+def xor2(netlist: Netlist, a: Net, b: Net) -> Net:
+    """Create an XOR2 gate and return its output net."""
+    return netlist.add_cell(CellType.XOR2, {"a": a, "b": b}).outputs["y"]
+
+
+def and2(netlist: Netlist, a: Net, b: Net) -> Net:
+    """Create an AND2 gate and return its output net."""
+    return netlist.add_cell(CellType.AND2, {"a": a, "b": b}).outputs["y"]
+
+
+def or2(netlist: Netlist, a: Net, b: Net) -> Net:
+    """Create an OR2 gate and return its output net."""
+    return netlist.add_cell(CellType.OR2, {"a": a, "b": b}).outputs["y"]
+
+
+def mux2(netlist: Netlist, a: Net, b: Net, sel: Net) -> Net:
+    """Create a MUX2 gate (output = b when sel else a) and return its output."""
+    return netlist.add_cell(CellType.MUX2, {"a": a, "b": b, "sel": sel}).outputs["y"]
+
+
+def and_chain(netlist: Netlist, nets: Sequence[Net]) -> Net:
+    """AND of one or more nets (balanced tree)."""
+    if not nets:
+        raise NetlistError("and_chain requires at least one net")
+    level = list(nets)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(and2(netlist, level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def or_chain(netlist: Netlist, nets: Sequence[Net]) -> Net:
+    """OR of one or more nets (balanced tree)."""
+    if not nets:
+        raise NetlistError("or_chain requires at least one net")
+    level = list(nets)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(or2(netlist, level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,41 @@
+"""Ripple-carry final adder."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.adders.common import normalize_operand
+from repro.netlist.cells import CellType
+from repro.netlist.core import Bus, Net, Netlist
+
+
+def ripple_carry_adder(
+    netlist: Netlist,
+    operand_a: Sequence[Optional[Net]],
+    operand_b: Sequence[Optional[Net]],
+    width: int,
+    name: str = "sum",
+    carry_in: Optional[Net] = None,
+) -> Bus:
+    """Sum two LSB-first operands with a ripple-carry chain.
+
+    The result is truncated to ``width`` bits (no carry-out net is produced),
+    matching the modulo-2**W semantics used throughout the package.
+    """
+    bits_a = normalize_operand(netlist, operand_a, width)
+    bits_b = normalize_operand(netlist, operand_b, width)
+
+    sums: List[Net] = []
+    carry: Optional[Net] = carry_in
+    for index in range(width):
+        if carry is None:
+            cell = netlist.add_cell(
+                CellType.HA, {"a": bits_a[index], "b": bits_b[index]}
+            )
+        else:
+            cell = netlist.add_cell(
+                CellType.FA, {"a": bits_a[index], "b": bits_b[index], "cin": carry}
+            )
+        sums.append(cell.outputs["s"])
+        carry = cell.outputs["co"]
+    return Bus(name, sums)

@@ -1,0 +1,25 @@
+"""Bit-level addend matrix construction.
+
+The addend matrix is the paper's central data structure: one column per bit
+weight, each column holding the single-bit addends (input bits, partial
+products, constants, inverted bits of subtracted terms) that must be summed at
+that weight.  The compressor-tree algorithms in :mod:`repro.core` reduce this
+matrix to two rows.
+"""
+
+from repro.bitmatrix.addend import Addend
+from repro.bitmatrix.matrix import AddendMatrix
+from repro.bitmatrix.builder import MatrixBuildResult, build_addend_matrix
+from repro.bitmatrix.partial_products import and_array_product
+from repro.bitmatrix.booth import booth_partial_products
+from repro.bitmatrix.constants import constant_addend_columns
+
+__all__ = [
+    "Addend",
+    "AddendMatrix",
+    "MatrixBuildResult",
+    "build_addend_matrix",
+    "and_array_product",
+    "booth_partial_products",
+    "constant_addend_columns",
+]

@@ -1,0 +1,117 @@
+"""Radix-4 (modified) Booth recoding of two-operand products.
+
+The paper's flow uses a plain AND-array to generate the partial products of a
+multiplication; Booth recoding is the classic alternative, halving the number
+of partial-product rows at the price of a per-bit encoder (one/two/neg
+selection plus an XOR).  It is provided here as an optional extension so the
+partial-product-generation ablation can quantify that trade-off inside the
+same FA-tree allocation framework.
+
+For an unsigned multiplicand X of n bits and an unsigned multiplier Y of m
+bits, the multiplier is recoded into k = ceil((m+1)/2) radix-4 digits
+
+    d_i = y[2i-1] + y[2i] - 2*y[2i+1]   in {-2, -1, 0, +1, +2}
+
+(with y[-1] = 0 and y[j] = 0 for j >= m), so that X*Y = sum_i d_i * X * 4^i.
+Each digit contributes one partial-product row:
+
+    pp[i][j] = neg_i XOR ((x[j] AND one_i) OR (x[j-1] AND two_i)),  j = 0..n
+
+where ``one_i`` / ``two_i`` / ``neg_i`` select |d_i| = 1, |d_i| = 2 and
+d_i < 0.  A negative row is stored in one's complement, so each group adds the
+two's-complement corrections
+
+    + neg_i           at column 2i
+    + NOT(neg_i)      at column 2i + n + 1
+    - 2^(2i + n + 1)  as a constant
+
+all of which fold into the existing addend-matrix machinery (signal addends
+plus an accumulated integer constant).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.bitmatrix.partial_products import BitSignal, ProductBit, ProductBitFactory
+from repro.errors import AllocationError
+
+
+def booth_digit_count(multiplier_width: int) -> int:
+    """Number of radix-4 Booth digits needed for an unsigned multiplier."""
+    if multiplier_width <= 0:
+        raise AllocationError("multiplier width must be positive")
+    return (multiplier_width + 2) // 2
+
+
+def _multiplier_bit(factory: ProductBitFactory, bits: Sequence[BitSignal], index: int) -> BitSignal:
+    """y[index] with y[-1] = 0 and zero extension above the MSB."""
+    if index < 0 or index >= len(bits):
+        return factory.constant(0)
+    return bits[index]
+
+
+def booth_partial_products(
+    factory: ProductBitFactory,
+    multiplicand: Sequence[BitSignal],
+    multiplier: Sequence[BitSignal],
+    max_column: int,
+) -> Tuple[List[ProductBit], int]:
+    """Booth-recoded partial products of ``multiplicand * multiplier``.
+
+    Returns ``(product_bits, constant_correction)``: the single-bit addends
+    (with their columns) and the integer constant that must be added to the
+    matrix to complete the two's-complement corrections.  Bits whose column is
+    ``>= max_column`` are dropped together with their matching corrections, so
+    the result is exact modulo ``2**max_column``.
+    """
+    if not multiplicand or not multiplier:
+        raise AllocationError("booth_partial_products requires non-empty operands")
+
+    n = len(multiplicand)
+    products: List[ProductBit] = []
+    constant_correction = 0
+
+    def x_bit(index: int) -> BitSignal:
+        if index < 0 or index >= n:
+            return factory.constant(0)
+        return multiplicand[index]
+
+    for group in range(booth_digit_count(len(multiplier))):
+        base_column = 2 * group
+        if base_column >= max_column:
+            break
+        y_low = _multiplier_bit(factory, multiplier, 2 * group - 1)
+        y_mid = _multiplier_bit(factory, multiplier, 2 * group)
+        y_high = _multiplier_bit(factory, multiplier, 2 * group + 1)
+
+        one = factory.xor_of(y_mid, y_low)
+        two = factory.and_of(factory.xor_of(y_high, y_mid), factory.not_of(one))
+        neg = factory.and_of(y_high, factory.not_of(factory.and_of(y_mid, y_low)))
+
+        # Row bits j = 0..n (n+1 bits cover the doubled multiplicand).
+        for j in range(n + 1):
+            column = base_column + j
+            if column >= max_column:
+                continue
+            selected = factory.or_of(
+                factory.and_of(x_bit(j), one), factory.and_of(x_bit(j - 1), two)
+            )
+            bit = factory.xor_of(selected, neg)
+            if bit.net.is_constant and bit.net.const_value == 0:
+                continue
+            products.append(ProductBit(column, bit))
+
+        # Two's-complement corrections for a (possibly) negative row.  When the
+        # encoder proves the row non-negative (neg folds to constant 0) the
+        # +neg, +NOT(neg) and -2^c corrections cancel and are all skipped.
+        if neg.net.is_constant and neg.net.const_value == 0:
+            continue
+        if base_column < max_column:
+            products.append(ProductBit(base_column, neg))
+        sign_column = base_column + n + 1
+        if sign_column < max_column:
+            products.append(ProductBit(sign_column, factory.not_of(neg)))
+            constant_correction -= 1 << sign_column
+
+    return products, constant_correction

@@ -1,0 +1,47 @@
+"""Handling of constant contributions to the addend matrix.
+
+All constant contributions of an expression — literal constant terms, the
+``+1`` corrections of two's-complement negation, Booth recoding corrections —
+are accumulated into a single integer, reduced modulo ``2**width`` and then
+materialised as constant-1 addends at the columns where the reduced value has
+a 1 bit.  This minimises the number of constant rows in the matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bitmatrix.addend import Addend
+from repro.netlist.core import Netlist
+from repro.utils.bits import columns_of_constant
+
+
+def constant_addend_columns(value: int, width: int) -> List[int]:
+    """Columns at which ``value mod 2**width`` contributes a constant 1."""
+    return columns_of_constant(value, width)
+
+
+def constant_addends(
+    netlist: Netlist,
+    value: int,
+    width: int,
+    origin: str = "const",
+) -> List[Addend]:
+    """Materialise ``value mod 2**width`` as constant-1 addends.
+
+    Constant bits have arrival time 0 and probability 1 (they never switch),
+    which makes them the first addends FA_ALP picks — exactly the behaviour
+    the paper's ``SC_LP`` intends for "logic value" inputs.
+    """
+    addends: List[Addend] = []
+    for column in constant_addend_columns(value, width):
+        addends.append(
+            Addend(
+                net=netlist.const(1),
+                column=column,
+                arrival=0.0,
+                probability=1.0,
+                origin=origin,
+            )
+        )
+    return addends

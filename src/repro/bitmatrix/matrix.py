@@ -1,0 +1,109 @@
+"""The addend matrix: columns of single-bit addends indexed by bit weight."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.bitmatrix.addend import Addend
+from repro.errors import AllocationError
+
+
+class AddendMatrix:
+    """A fixed-width matrix of addend columns.
+
+    The matrix models arithmetic modulo ``2**width``: addends whose column is
+    ``>= width`` are silently discarded by :meth:`add` (they cannot influence
+    the truncated result), which keeps compressor trees from growing columns
+    the final adder would ignore anyway.
+    """
+
+    def __init__(self, width: int, name: str = "matrix") -> None:
+        if width <= 0:
+            raise AllocationError(f"matrix width must be positive, got {width}")
+        self.width = width
+        self.name = name
+        self._columns: List[List[Addend]] = [[] for _ in range(width)]
+
+    # ------------------------------------------------------------------ build
+    def add(self, addend: Addend) -> bool:
+        """Add an addend; returns False when it falls outside the width."""
+        if addend.column < 0:
+            raise AllocationError(f"addend {addend.describe()} has negative column")
+        if addend.column >= self.width:
+            return False
+        self._columns[addend.column].append(addend)
+        return True
+
+    def extend(self, addends: List[Addend]) -> int:
+        """Add many addends; returns how many were inside the width."""
+        return sum(1 for addend in addends if self.add(addend))
+
+    # ----------------------------------------------------------------- access
+    def column(self, index: int) -> List[Addend]:
+        """The (mutable) list of addends in column ``index``."""
+        if not 0 <= index < self.width:
+            raise AllocationError(f"column {index} outside matrix width {self.width}")
+        return self._columns[index]
+
+    def columns(self) -> List[List[Addend]]:
+        """All columns, LSB first (the lists are the live column objects)."""
+        return self._columns
+
+    def __iter__(self) -> Iterator[List[Addend]]:
+        return iter(self._columns)
+
+    def height(self, index: int) -> int:
+        """Number of addends currently in column ``index``."""
+        return len(self.column(index))
+
+    def max_height(self) -> int:
+        """Height of the tallest column."""
+        return max((len(col) for col in self._columns), default=0)
+
+    def total_addends(self) -> int:
+        """Total number of addends across all columns."""
+        return sum(len(col) for col in self._columns)
+
+    def heights(self) -> List[int]:
+        """Per-column heights, LSB first."""
+        return [len(col) for col in self._columns]
+
+    def is_reduced(self) -> bool:
+        """True when every column holds at most two addends."""
+        return all(len(col) <= 2 for col in self._columns)
+
+    def copy(self) -> "AddendMatrix":
+        """Shallow copy (columns are new lists; addends are shared)."""
+        clone = AddendMatrix(self.width, name=self.name)
+        for index, column in enumerate(self._columns):
+            clone._columns[index] = list(column)
+        return clone
+
+    # ------------------------------------------------------------- inspection
+    def expected_value(self) -> Dict[str, float]:
+        """Expected numeric value and switching summary (for diagnostics)."""
+        expected = 0.0
+        switching = 0.0
+        for index, column in enumerate(self._columns):
+            for addend in column:
+                expected += addend.probability * (1 << index)
+                switching += addend.switching
+        return {"expected_value": expected, "total_input_switching": switching}
+
+    def dump(self, max_entries_per_column: Optional[int] = None) -> str:
+        """Multi-line rendering of the matrix, most significant column first."""
+        lines = [f"AddendMatrix {self.name!r} width={self.width}"]
+        for index in range(self.width - 1, -1, -1):
+            column = self._columns[index]
+            entries = [a.describe() for a in column]
+            if max_entries_per_column is not None and len(entries) > max_entries_per_column:
+                hidden = len(entries) - max_entries_per_column
+                entries = entries[:max_entries_per_column] + [f"... (+{hidden} more)"]
+            lines.append(f"  col {index:>3} (h={len(column):>2}): " + ", ".join(entries))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AddendMatrix({self.name!r}, width={self.width}, "
+            f"addends={self.total_addends()}, max_height={self.max_height()})"
+        )

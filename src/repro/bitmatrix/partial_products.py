@@ -1,0 +1,187 @@
+"""Partial-product generation for products of operands (AND-array style).
+
+For a product of k operands, every combination of one bit per operand yields a
+single-bit partial product: ``x_i * y_j * z_k`` contributes at column
+``i + j + k`` and is realised as an AND tree over the participating bits.
+This generalises the classic two-operand AND array to the k-operand products
+that appear once a whole expression (e.g. ``x**3``) is flattened.
+
+A :class:`ProductBitFactory` caches AND results so that repeated bit pairs
+(squares, or coefficients with several non-zero digits reusing the same
+product) do not duplicate gates, and it propagates arrival times and signal
+probabilities through the gates it creates so the allocation algorithms see
+correct per-addend data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+from repro.errors import AllocationError
+from repro.netlist.cells import CellType
+from repro.netlist.core import Net, Netlist
+from repro.tech.library import TechLibrary
+
+
+class BitSignal(NamedTuple):
+    """A single-bit signal with allocation-time annotations."""
+
+    net: Net
+    arrival: float
+    probability: float
+
+
+class ProductBit(NamedTuple):
+    """One partial-product bit: its column (weight) and its signal."""
+
+    column: int
+    signal: BitSignal
+
+
+class ProductBitFactory:
+    """Creates AND-tree product bits in a netlist, with gate sharing."""
+
+    def __init__(self, netlist: Netlist, library: TechLibrary) -> None:
+        self.netlist = netlist
+        self.library = library
+        self._and_cache: Dict[frozenset, BitSignal] = {}
+        self._not_cache: Dict[str, BitSignal] = {}
+        self.and_gates_created = 0
+        self.not_gates_created = 0
+
+    # ----------------------------------------------------------------- gates
+    def and_of(self, first: BitSignal, second: BitSignal) -> BitSignal:
+        """AND of two bit signals (cached, commutative, idempotent)."""
+        if first.net is second.net:
+            return first
+        # Constant folding keeps the matrix free of degenerate gates.
+        if first.net.is_constant:
+            return second if first.net.const_value == 1 else self.constant(0)
+        if second.net.is_constant:
+            return first if second.net.const_value == 1 else self.constant(0)
+
+        key = frozenset((first.net.name, second.net.name))
+        if key in self._and_cache:
+            return self._and_cache[key]
+
+        cell = self.netlist.add_cell(
+            CellType.AND2, {"a": first.net, "b": second.net}, output_prefix="pp_"
+        )
+        delay = self.library.worst_delay(CellType.AND2, "y")
+        signal = BitSignal(
+            net=cell.outputs["y"],
+            arrival=max(first.arrival, second.arrival) + delay,
+            probability=first.probability * second.probability,
+        )
+        self._and_cache[key] = signal
+        self.and_gates_created += 1
+        return signal
+
+    def not_of(self, signal: BitSignal) -> BitSignal:
+        """NOT of a bit signal (cached); used for subtracted terms."""
+        if signal.net.is_constant:
+            return self.constant(1 - (signal.net.const_value or 0))
+        if signal.net.name in self._not_cache:
+            return self._not_cache[signal.net.name]
+        cell = self.netlist.add_cell(CellType.NOT, {"a": signal.net}, output_prefix="inv_")
+        delay = self.library.worst_delay(CellType.NOT, "y")
+        inverted = BitSignal(
+            net=cell.outputs["y"],
+            arrival=signal.arrival + delay,
+            probability=1.0 - signal.probability,
+        )
+        self._not_cache[signal.net.name] = inverted
+        self.not_gates_created += 1
+        return inverted
+
+    def or_of(self, first: BitSignal, second: BitSignal) -> BitSignal:
+        """OR of two bit signals (with constant folding); used by Booth encoding."""
+        if first.net is second.net:
+            return first
+        if first.net.is_constant:
+            return self.constant(1) if first.net.const_value == 1 else second
+        if second.net.is_constant:
+            return self.constant(1) if second.net.const_value == 1 else first
+        cell = self.netlist.add_cell(
+            CellType.OR2, {"a": first.net, "b": second.net}, output_prefix="pp_or_"
+        )
+        delay = self.library.worst_delay(CellType.OR2, "y")
+        p_or = first.probability + second.probability - first.probability * second.probability
+        return BitSignal(
+            net=cell.outputs["y"],
+            arrival=max(first.arrival, second.arrival) + delay,
+            probability=p_or,
+        )
+
+    def xor_of(self, first: BitSignal, second: BitSignal) -> BitSignal:
+        """XOR of two bit signals (with constant folding); used by Booth encoding."""
+        if first.net is second.net:
+            return self.constant(0)
+        if first.net.is_constant:
+            return second if first.net.const_value == 0 else self.not_of(second)
+        if second.net.is_constant:
+            return first if second.net.const_value == 0 else self.not_of(first)
+        cell = self.netlist.add_cell(
+            CellType.XOR2, {"a": first.net, "b": second.net}, output_prefix="pp_xor_"
+        )
+        delay = self.library.worst_delay(CellType.XOR2, "y")
+        p_xor = (
+            first.probability
+            + second.probability
+            - 2.0 * first.probability * second.probability
+        )
+        return BitSignal(
+            net=cell.outputs["y"],
+            arrival=max(first.arrival, second.arrival) + delay,
+            probability=p_xor,
+        )
+
+    def constant(self, value: int) -> BitSignal:
+        """Constant 0/1 as a bit signal."""
+        return BitSignal(self.netlist.const(value), 0.0, float(value))
+
+    # -------------------------------------------------------------- products
+    def product_of(self, bits: Sequence[BitSignal]) -> BitSignal:
+        """AND of an arbitrary number of bit signals, built as a balanced tree."""
+        if not bits:
+            raise AllocationError("cannot take the product of zero bits")
+        level: List[BitSignal] = list(bits)
+        while len(level) > 1:
+            next_level: List[BitSignal] = []
+            for index in range(0, len(level) - 1, 2):
+                next_level.append(self.and_of(level[index], level[index + 1]))
+            if len(level) % 2:
+                next_level.append(level[-1])
+            level = next_level
+        return level[0]
+
+
+def and_array_product(
+    factory: ProductBitFactory,
+    operand_bits: Sequence[Sequence[BitSignal]],
+    max_column: int,
+) -> List[ProductBit]:
+    """All partial-product bits of the product of the given operands.
+
+    ``operand_bits`` holds one LSB-first bit list per operand.  Partial
+    products whose column would be ``>= max_column`` are not generated (they
+    cannot affect a result truncated to ``max_column`` bits), which keeps the
+    gate count of wide products bounded.
+    """
+    if not operand_bits:
+        raise AllocationError("and_array_product requires at least one operand")
+
+    products: List[ProductBit] = []
+
+    def recurse(operand_index: int, column: int, chosen: Tuple[BitSignal, ...]) -> None:
+        if column >= max_column:
+            return
+        if operand_index == len(operand_bits):
+            signal = factory.product_of(chosen) if len(chosen) > 1 else chosen[0]
+            products.append(ProductBit(column=column, signal=signal))
+            return
+        for bit_index, bit in enumerate(operand_bits[operand_index]):
+            recurse(operand_index + 1, column + bit_index, chosen + (bit,))
+
+    recurse(0, 0, ())
+    return products

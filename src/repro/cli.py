@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Usage examples::
+
+    repro-datapath list-designs
+    repro-datapath synth --design iir --method fa_aot --verilog iir.v
+    repro-datapath compare --design kalman --methods conventional csa_opt fa_aot
+    repro-datapath table1
+    repro-datapath table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.adders.factory import FINAL_ADDER_KINDS
+from repro.designs.registry import (
+    TABLE1_DESIGN_NAMES,
+    TABLE2_DESIGN_NAMES,
+    get_design,
+    list_designs,
+    with_random_probabilities,
+)
+from repro.flows.compare import compare_methods
+from repro.flows.synthesis import SYNTHESIS_METHODS, synthesize
+from repro.netlist.verilog import to_verilog
+from repro.report.tables import table1_report, table2_report
+from repro.tech.default_libs import generic_035, unit_library
+from repro.timing.report import timing_report
+from repro.power.report import power_report
+
+
+def _library(name: str):
+    if name == "generic_035":
+        return generic_035()
+    if name == "unit":
+        return unit_library()
+    raise SystemExit(f"unknown library {name!r} (choices: generic_035, unit)")
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--library", default="generic_035", help="technology library (generic_035 or unit)"
+    )
+    parser.add_argument(
+        "--final-adder",
+        default="cla",
+        choices=FINAL_ADDER_KINDS,
+        help="final carry-propagate adder architecture",
+    )
+
+
+def _cmd_list_designs(_: argparse.Namespace) -> int:
+    for name in list_designs():
+        print(get_design(name).summary())
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    design = get_design(args.design)
+    if args.random_probabilities:
+        design = with_random_probabilities(design, seed=args.seed)
+    result = synthesize(
+        design,
+        method=args.method,
+        library=_library(args.library),
+        final_adder=args.final_adder,
+        seed=args.seed,
+    )
+    print(result.summary())
+    if args.timing:
+        print()
+        print(timing_report(result.netlist, _library(args.library), result.timing))
+    if args.power:
+        print()
+        print(power_report(result.netlist, result.power))
+    if args.verilog:
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(to_verilog(result.netlist, module_name=f"{design.name}_{args.method}"))
+        print(f"wrote Verilog netlist to {args.verilog}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    design = get_design(args.design)
+    row = compare_methods(
+        design,
+        args.methods,
+        library=_library(args.library),
+        final_adder=args.final_adder,
+        seed=args.seed,
+    )
+    for method in args.methods:
+        print(row.results[method].summary())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    names = args.designs or TABLE1_DESIGN_NAMES
+    for name in names:
+        design = get_design(name)
+        rows.append(
+            compare_methods(
+                design,
+                ["conventional", "csa_opt", "fa_aot"],
+                library=_library(args.library),
+                final_adder=args.final_adder,
+            )
+        )
+        print(f"  synthesized {name}", file=sys.stderr)
+    print(table1_report(rows))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = []
+    names = args.designs or TABLE2_DESIGN_NAMES
+    for name in names:
+        design = with_random_probabilities(get_design(name), seed=args.seed)
+        rows.append(
+            compare_methods(
+                design,
+                ["fa_random", "fa_alp"],
+                library=_library(args.library),
+                final_adder=args.final_adder,
+                seed=args.seed,
+            )
+        )
+        print(f"  synthesized {name}", file=sys.stderr)
+    print(table2_report(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-datapath",
+        description=(
+            "Fine-grained arithmetic optimization for datapath synthesis "
+            "(reproduction of Um, Kim, Liu - DAC 2000)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list-designs", help="list the benchmark designs")
+    list_parser.set_defaults(func=_cmd_list_designs)
+
+    synth = sub.add_parser("synth", help="synthesize one design with one method")
+    synth.add_argument("--design", required=True, choices=list_designs())
+    synth.add_argument("--method", default="fa_aot", choices=SYNTHESIS_METHODS)
+    synth.add_argument("--seed", type=int, default=2000)
+    synth.add_argument("--timing", action="store_true", help="print a timing report")
+    synth.add_argument("--power", action="store_true", help="print a power report")
+    synth.add_argument("--verilog", help="write the netlist to this Verilog file")
+    synth.add_argument(
+        "--random-probabilities",
+        action="store_true",
+        help="randomize input signal probabilities (Table 2 protocol)",
+    )
+    _add_common_options(synth)
+    synth.set_defaults(func=_cmd_synth)
+
+    compare = sub.add_parser("compare", help="compare several methods on one design")
+    compare.add_argument("--design", required=True, choices=list_designs())
+    compare.add_argument(
+        "--methods", nargs="+", default=["conventional", "csa_opt", "fa_aot"],
+        choices=SYNTHESIS_METHODS,
+    )
+    compare.add_argument("--seed", type=int, default=2000)
+    _add_common_options(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--designs", nargs="*", choices=list_designs())
+    _add_common_options(table1)
+    table1.set_defaults(func=_cmd_table1)
+
+    table2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    table2.add_argument("--designs", nargs="*", choices=list_designs())
+    table2.add_argument("--seed", type=int, default=2000)
+    _add_common_options(table2)
+    table2.set_defaults(func=_cmd_table2)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Allocation-time delay model for full and half adders.
+
+Section 3.1 of the paper models an FA with two constant internal delays:
+``Ds`` from any input to the sum output and ``Dc`` from any input to the
+carry-out output.  The allocation algorithms use this model to track arrival
+times incrementally while the tree is being built; sign-off timing of the
+finished netlist uses the full per-arc library data via :mod:`repro.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FADelayModel:
+    """FA/HA input-to-output delays (the paper's Ds and Dc).
+
+    ``ha_sum_delay`` / ``ha_carry_delay`` default to the FA values when not
+    given, matching the paper which does not distinguish HA delays.
+    """
+
+    sum_delay: float = 2.0
+    carry_delay: float = 1.0
+    ha_sum_delay: Optional[float] = None
+    ha_carry_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sum_delay < 0 or self.carry_delay < 0:
+            raise ValueError("FA delays must be non-negative")
+        if self.ha_sum_delay is None:
+            object.__setattr__(self, "ha_sum_delay", self.sum_delay)
+        if self.ha_carry_delay is None:
+            object.__setattr__(self, "ha_carry_delay", self.carry_delay)
+
+    # ------------------------------------------------------------ propagation
+    def fa_arrivals(self, input_arrivals: Sequence[float]) -> Tuple[float, float]:
+        """(sum, carry) arrival times of an FA fed by the given inputs."""
+        latest = max(input_arrivals)
+        return latest + self.sum_delay, latest + self.carry_delay
+
+    def ha_arrivals(self, input_arrivals: Sequence[float]) -> Tuple[float, float]:
+        """(sum, carry) arrival times of an HA fed by the given inputs."""
+        latest = max(input_arrivals)
+        return latest + float(self.ha_sum_delay), latest + float(self.ha_carry_delay)
+
+    # ------------------------------------------------------------ convenience
+    @classmethod
+    def from_library(cls, library) -> "FADelayModel":
+        """Extract the FA/HA delay parameters from a technology library."""
+        parameters = library.fa_delay_model()
+        return cls(
+            sum_delay=parameters.sum_delay,
+            carry_delay=parameters.carry_delay,
+            ha_sum_delay=parameters.ha_sum_delay,
+            ha_carry_delay=parameters.ha_carry_delay,
+        )
+
+    @classmethod
+    def paper_example(cls) -> "FADelayModel":
+        """Ds=2, Dc=1 — the values used in Figure 2 of the paper."""
+        return cls(sum_delay=2.0, carry_delay=1.0)

@@ -1,0 +1,115 @@
+"""Addend-selection policies.
+
+A policy decides, each time the column reducer is about to create an FA (or
+HA), *which* addends of the working set feed it.  This is exactly where the
+paper's algorithms differ from the classic Wallace scheme and from each other:
+
+* :class:`EarliestArrivalPolicy` — the paper's ``SC_T`` selection (timing);
+  ties are broken by larger ``|q|`` as Section 4.3 prescribes for ``FA_AOT``.
+* :class:`LargestQPolicy` — the paper's ``SC_LP`` selection (power); ties are
+  broken by earlier arrival, i.e. the reverse priority used by ``FA_ALP``.
+* :class:`RandomPolicy` — the ``FA_random`` baseline of Table 2.
+* :class:`RowOrderPolicy` — arrival-blind, row-ordered selection; this is the
+  "fixed selection ... as the Wallace scheme does" of Figure 2(a).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.bitmatrix.addend import Addend
+from repro.errors import AllocationError
+
+
+class SelectionPolicy(ABC):
+    """Strategy object choosing FA/HA inputs from a column's working set."""
+
+    #: short identifier used in reports and result records
+    name = "abstract"
+
+    @abstractmethod
+    def select(self, candidates: Sequence[Addend], count: int) -> List[Addend]:
+        """Return ``count`` addends chosen from ``candidates`` (no repeats)."""
+
+    def _check(self, candidates: Sequence[Addend], count: int) -> None:
+        if count <= 0:
+            raise AllocationError(f"cannot select {count} addends")
+        if len(candidates) < count:
+            raise AllocationError(
+                f"policy {self.name!r} asked for {count} addends but only "
+                f"{len(candidates)} are available"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class EarliestArrivalPolicy(SelectionPolicy):
+    """Pick the addends with the earliest arrival times (paper's SC_T).
+
+    Ties on arrival time are broken by larger ``|q|`` (the secondary, power
+    oriented priority the paper gives to FA_AOT), then by creation order so
+    results are deterministic.
+    """
+
+    name = "earliest_arrival"
+
+    def select(self, candidates: Sequence[Addend], count: int) -> List[Addend]:
+        self._check(candidates, count)
+        ranked = sorted(
+            candidates,
+            key=lambda a: (a.arrival, -abs(a.q_value), a.sequence),
+        )
+        return ranked[:count]
+
+
+class LargestQPolicy(SelectionPolicy):
+    """Pick the addends with the largest ``|q| = |p - 0.5|`` (paper's SC_LP).
+
+    Ties on ``|q|`` are broken by earlier arrival (the secondary priority the
+    paper gives to FA_ALP), then by creation order.
+    """
+
+    name = "largest_q"
+
+    def select(self, candidates: Sequence[Addend], count: int) -> List[Addend]:
+        self._check(candidates, count)
+        ranked = sorted(
+            candidates,
+            key=lambda a: (-abs(a.q_value), a.arrival, a.sequence),
+        )
+        return ranked[:count]
+
+
+class RandomPolicy(SelectionPolicy):
+    """Uniform random selection — the FA_random baseline of the paper."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None, rng: Optional[random.Random] = None) -> None:
+        if rng is not None:
+            self.rng = rng
+        else:
+            self.rng = random.Random(seed)
+
+    def select(self, candidates: Sequence[Addend], count: int) -> List[Addend]:
+        self._check(candidates, count)
+        return self.rng.sample(list(candidates), count)
+
+
+class RowOrderPolicy(SelectionPolicy):
+    """Arrival-blind selection in row (creation) order.
+
+    This reproduces the fixed input assignment of the classic Wallace scheme
+    as used in the motivating Figure 2(a): the first three addends listed in
+    the column feed the first FA regardless of their arrival times.
+    """
+
+    name = "row_order"
+
+    def select(self, candidates: Sequence[Addend], count: int) -> List[Addend]:
+        self._check(candidates, count)
+        ranked = sorted(candidates, key=lambda a: a.sequence)
+        return ranked[:count]

@@ -1,0 +1,102 @@
+"""Result record of a compressor-tree allocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bitmatrix.addend import Addend
+from repro.core.column import ColumnReduction
+from repro.netlist.core import Cell, Netlist
+
+
+@dataclass
+class CompressionResult:
+    """Everything produced by reducing an addend matrix to two rows.
+
+    Attributes
+    ----------
+    netlist:
+        The netlist the FA/HA cells were added to (shared with the matrix
+        builder's netlist).
+    width:
+        Number of columns (the output width W).
+    rows:
+        Two LSB-first lists of length ``width``; entry ``rows[r][c]`` is the
+        addend feeding row *r* of the final adder at column *c*, or ``None``
+        when the column ended with fewer than ``r+1`` addends.
+    column_reductions:
+        Per-column :class:`ColumnReduction` records, LSB first.
+    policy_name / ha_style:
+        How the allocation was made (for reports).
+    tree_switching_energy:
+        The paper's E_switching(T): total Ws/Wc-weighted switching activity of
+        every FA/HA output in the tree.
+    max_final_arrival:
+        Latest arrival time among the final-row addends — the quantity the
+        paper's modified Problem 1 minimises (the final adder's worst input).
+    """
+
+    netlist: Netlist
+    width: int
+    rows: Tuple[List[Optional[Addend]], List[Optional[Addend]]]
+    column_reductions: List[ColumnReduction]
+    policy_name: str
+    ha_style: str
+    tree_switching_energy: float
+    max_final_arrival: float
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ cells
+    @property
+    def fa_cells(self) -> List[Cell]:
+        """Every full adder allocated by the reduction."""
+        return [cell for reduction in self.column_reductions for cell in reduction.fa_cells]
+
+    @property
+    def ha_cells(self) -> List[Cell]:
+        """Every half adder allocated by the reduction."""
+        return [cell for reduction in self.column_reductions for cell in reduction.ha_cells]
+
+    @property
+    def fa_count(self) -> int:
+        """Number of full adders in the tree."""
+        return sum(reduction.fa_count for reduction in self.column_reductions)
+
+    @property
+    def ha_count(self) -> int:
+        """Number of half adders in the tree."""
+        return sum(reduction.ha_count for reduction in self.column_reductions)
+
+    # ------------------------------------------------------------- final rows
+    def final_addends(self) -> List[Addend]:
+        """All final-row addends (flattened, Nones dropped)."""
+        found: List[Addend] = []
+        for row in self.rows:
+            found.extend(addend for addend in row if addend is not None)
+        return found
+
+    def final_arrivals(self) -> Dict[int, List[float]]:
+        """Per-column sorted arrival times of the final-row addends."""
+        arrivals: Dict[int, List[float]] = {}
+        for column in range(self.width):
+            values = [
+                row[column].arrival for row in self.rows if row[column] is not None
+            ]
+            arrivals[column] = sorted(values)
+        return arrivals
+
+    def final_heights(self) -> List[int]:
+        """Number of final-row addends per column (0, 1 or 2)."""
+        return [
+            sum(1 for row in self.rows if row[column] is not None)
+            for column in range(self.width)
+        ]
+
+    def summary(self) -> str:
+        """One-line summary for logs and examples."""
+        return (
+            f"policy={self.policy_name}, FAs={self.fa_count}, HAs={self.ha_count}, "
+            f"final-adder worst input arrival={self.max_final_arrival:.3f}, "
+            f"E_switching(T)={self.tree_switching_energy:.4f}"
+        )

@@ -1,0 +1,19 @@
+"""Benchmark datapath designs used in the paper's evaluation."""
+
+from repro.designs.base import DatapathDesign
+from repro.designs.registry import (
+    TABLE1_DESIGN_NAMES,
+    TABLE2_DESIGN_NAMES,
+    get_design,
+    list_designs,
+    with_random_probabilities,
+)
+
+__all__ = [
+    "DatapathDesign",
+    "TABLE1_DESIGN_NAMES",
+    "TABLE2_DESIGN_NAMES",
+    "get_design",
+    "list_designs",
+    "with_random_probabilities",
+]

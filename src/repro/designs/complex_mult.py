@@ -1,0 +1,39 @@
+"""Complex benchmark — the arithmetic part of a complex-number multiplication.
+
+The paper lists "Complx ... the arithmetic part of complex number calculation"
+with a 32-bit output.  We implement the real part of (a + jb) * (c + jd) plus
+an accumulator input, which is the datapath found in complex MAC units:
+
+    re = a*c - b*d + acc
+
+with 16-bit operands and a 32-bit accumulator value.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import DatapathDesign
+from repro.expr.ast import Var
+from repro.expr.signals import SignalSpec
+
+
+def complex_mac_real() -> DatapathDesign:
+    """Real part of a complex multiply-accumulate (32-bit output)."""
+    a, b, c, d, acc = Var("a"), Var("b"), Var("c"), Var("d"), Var("acc")
+    expression = a * c - b * d + acc
+
+    signals = {
+        "a": SignalSpec("a", 16),
+        "b": SignalSpec("b", 16),
+        "c": SignalSpec("c", 16, arrival=0.5),
+        "d": SignalSpec("d", 16, arrival=0.5),
+        "acc": SignalSpec("acc", 32, arrival=[0.02 * i for i in range(32)]),
+    }
+    return DatapathDesign(
+        name="complex",
+        title="Complex (a*c - b*d + acc)",
+        expression=expression,
+        signals=signals,
+        output_width=32,
+        description="Real part of a complex multiply-accumulate.",
+        paper_row="Complex",
+    )

@@ -1,0 +1,40 @@
+"""IDCT benchmark — one output of an 8-point inverse DCT row transform.
+
+The paper lists "IDCT" with a 32-bit output.  One output sample of an 8-point
+1-D IDCT is the dot product of eight cosine coefficients with the eight input
+spectral coefficients:
+
+    y = sum_{k=0..7} c_k * s_k
+
+We use 12-bit cosine coefficients (as fixed-point IDCT implementations do) and
+16-bit spectral inputs, accumulated into a 32-bit result.  The high-frequency
+spectral coefficients arrive later than the low-frequency ones — in a real
+decoder they come out of the preceding dequantization logic last.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import DatapathDesign
+from repro.expr.ast import Expression, Var
+from repro.expr.signals import SignalSpec
+
+
+def idct_dot_product() -> DatapathDesign:
+    """8-term IDCT dot product (32-bit output)."""
+    expression: Expression = Var("c0") * Var("s0")
+    for k in range(1, 8):
+        expression = expression + Var(f"c{k}") * Var(f"s{k}")
+
+    signals = {}
+    for k in range(8):
+        signals[f"c{k}"] = SignalSpec(f"c{k}", 12)
+        signals[f"s{k}"] = SignalSpec(f"s{k}", 16, arrival=0.1 * k)
+    return DatapathDesign(
+        name="idct",
+        title="IDCT (8-point dot product)",
+        expression=expression,
+        signals=signals,
+        output_width=32,
+        description="Eight 12x16 products accumulated into a 32-bit result.",
+        paper_row="IDCT",
+    )

@@ -1,0 +1,52 @@
+"""IIR benchmark — the arithmetic part of a second-order (biquad) IIR filter.
+
+The paper only states "IIR is the arithmetic part of the 2nd-order iir filter
+design" with a 16-bit output.  The standard direct-form-I biquad arithmetic is
+
+    y[n] = b0*x[n] + b1*x[n-1] + b2*x[n-2] - a1*y[n-1] - a2*y[n-2]
+
+with 8-bit samples and coefficients, which gives a 16-bit accumulator — that
+is what this design implements.  The current input sample ``x0`` is given a
+late arrival (it comes from an ADC / preceding pipeline logic), while the
+delayed samples and coefficients come straight from registers at t=0; this
+uneven profile is the situation FA_AOT is designed to exploit.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import DatapathDesign
+from repro.expr.ast import Var
+from repro.expr.signals import SignalSpec
+
+
+def iir_biquad() -> DatapathDesign:
+    """Second-order IIR filter arithmetic (16-bit output)."""
+    b0, b1, b2 = Var("b0"), Var("b1"), Var("b2")
+    a1, a2 = Var("a1"), Var("a2")
+    x0, x1, x2 = Var("x0"), Var("x1"), Var("x2")
+    y1, y2 = Var("y1"), Var("y2")
+    expression = b0 * x0 + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2
+
+    signals = {
+        "b0": SignalSpec("b0", 8),
+        "b1": SignalSpec("b1", 8),
+        "b2": SignalSpec("b2", 8),
+        "a1": SignalSpec("a1", 8),
+        "a2": SignalSpec("a2", 8),
+        # The live sample arrives late; higher-order bits later still (they
+        # come out of a preceding carry-propagate stage LSB-first).
+        "x0": SignalSpec("x0", 8, arrival=[0.6 + 0.05 * i for i in range(8)]),
+        "x1": SignalSpec("x1", 8),
+        "x2": SignalSpec("x2", 8),
+        "y1": SignalSpec("y1", 8, arrival=0.3),
+        "y2": SignalSpec("y2", 8),
+    }
+    return DatapathDesign(
+        name="iir",
+        title="IIR (2nd-order biquad)",
+        expression=expression,
+        signals=signals,
+        output_width=16,
+        description="Direct-form-I biquad accumulator with a late input sample.",
+        paper_row="IIR",
+    )

@@ -1,0 +1,46 @@
+"""Kalman benchmark — the state-vector update of a Kalman filter.
+
+The paper describes "the state vector computation part of the kalman filter
+design" with a 32-bit output.  We implement one element of the predicted state
+vector
+
+    x1' = f11*x1 + f12*x2 + b1*u + k1*e
+
+with 16-bit state entries, coefficients and inputs (32-bit products).  The
+innovation term ``e`` arrives late because it is produced by the measurement
+pipeline; the register-resident state and coefficients arrive at t=0.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import DatapathDesign
+from repro.expr.ast import Var
+from repro.expr.signals import SignalSpec
+
+
+def kalman_state_update() -> DatapathDesign:
+    """Kalman filter state-vector update element (32-bit output)."""
+    f11, f12 = Var("f11"), Var("f12")
+    b1, k1 = Var("b1"), Var("k1")
+    x1, x2, u, e = Var("x1"), Var("x2"), Var("u"), Var("e")
+    expression = f11 * x1 + f12 * x2 + b1 * u + k1 * e
+
+    signals = {
+        "f11": SignalSpec("f11", 16),
+        "f12": SignalSpec("f12", 16),
+        "b1": SignalSpec("b1", 16),
+        "k1": SignalSpec("k1", 16),
+        "x1": SignalSpec("x1", 16),
+        "x2": SignalSpec("x2", 16),
+        "u": SignalSpec("u", 16, arrival=0.4),
+        "e": SignalSpec("e", 16, arrival=[0.8 + 0.03 * i for i in range(16)]),
+    }
+    return DatapathDesign(
+        name="kalman",
+        title="Kalman (state vector update)",
+        expression=expression,
+        signals=signals,
+        output_width=32,
+        description="Sum of four 16x16 products with a late innovation term.",
+        paper_row="Kalman",
+    )

@@ -1,0 +1,94 @@
+"""Polynomial benchmark designs — the first five rows of Table 1.
+
+The bit-widths and non-zero input arrival times are those stated in the first
+column of Table 1 of the paper; where the paper gives no arrival time the
+inputs arrive at t=0.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import DatapathDesign
+from repro.expr.ast import Var
+from repro.expr.signals import SignalSpec
+
+
+def x_squared() -> DatapathDesign:
+    """X**2 with a 3-bit X (Table 1, row 1)."""
+    x = Var("x")
+    return DatapathDesign(
+        name="x2",
+        title="X^2 (X: 3-bit)",
+        expression=x * x,
+        signals={"x": SignalSpec("x", 3)},
+        output_width=6,
+        description="Square of a 3-bit operand.",
+        paper_row="X2",
+    )
+
+
+def x_cubed() -> DatapathDesign:
+    """X**3 with a 4-bit X (Table 1, row 2)."""
+    x = Var("x")
+    return DatapathDesign(
+        name="x3",
+        title="X^3 (X: 4-bit)",
+        expression=x * x * x,
+        signals={"x": SignalSpec("x", 4)},
+        output_width=12,
+        description="Cube of a 4-bit operand (a three-operand bit product).",
+        paper_row="X3",
+    )
+
+
+def x2_plus_x_plus_y() -> DatapathDesign:
+    """X**2 + X + Y with 8-bit operands, X arriving at 0.7 ns (Table 1, row 3)."""
+    x, y = Var("x"), Var("y")
+    return DatapathDesign(
+        name="x2_plus_x_plus_y",
+        title="X^2 + X + Y",
+        expression=x * x + x + y,
+        signals={
+            "x": SignalSpec("x", 8, arrival=0.7),
+            "y": SignalSpec("y", 8),
+        },
+        output_width=16,
+        description="Quadratic polynomial with a late-arriving X operand.",
+        paper_row="X2 + X + Y",
+    )
+
+
+def square_of_sum() -> DatapathDesign:
+    """x^2 + 2xy + y^2 + 2x + 2y + 1 with 8-bit x, y at 1.0 ns (Table 1, row 4)."""
+    x, y = Var("x"), Var("y")
+    expression = x * x + 2 * x * y + y * y + 2 * x + 2 * y + 1
+    return DatapathDesign(
+        name="square_of_sum",
+        title="x^2 + 2xy + y^2 + 2x + 2y + 1",
+        expression=expression,
+        signals={
+            "x": SignalSpec("x", 8, arrival=1.0),
+            "y": SignalSpec("y", 8, arrival=1.0),
+        },
+        output_width=17,
+        description="Expansion of (x + y + 1)^2 with uniformly late inputs.",
+        paper_row="x2 + 2xy + y2 + 2x + 2y + 1",
+    )
+
+
+def mixed_products() -> DatapathDesign:
+    """x + y - z + x*y - y*z + 10 with 8-bit operands (Table 1, row 5)."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    expression = x + y - z + x * y - y * z + 10
+    return DatapathDesign(
+        name="mixed_products",
+        title="x + y - z + x*y - y*z + 10",
+        expression=expression,
+        signals={
+            "x": SignalSpec("x", 8),
+            "y": SignalSpec("y", 8),
+            "z": SignalSpec("z", 8),
+        },
+        output_width=17,
+        description="Mixed additions, subtractions and products with a constant.",
+        paper_row="x + y - z + x.y - y.z + 10",
+    )

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError`, so callers
+can catch a single exception type at flow boundaries while still being able to
+distinguish failure modes when they need to.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (unknown cell, dangling net, cycle...)."""
+
+
+class ExpressionError(ReproError):
+    """Problem building, parsing or lowering an arithmetic expression."""
+
+
+class AllocationError(ReproError):
+    """Problem during FA-tree / compressor-tree allocation."""
+
+
+class LibraryError(ReproError):
+    """Problem with a technology library (missing cell, missing arc...)."""
+
+
+class SimulationError(ReproError):
+    """Problem during functional simulation or equivalence checking."""
+
+
+class DesignError(ReproError):
+    """Problem with a benchmark design specification."""

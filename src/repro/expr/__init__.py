@@ -1,0 +1,27 @@
+"""Arithmetic expression frontend.
+
+Expressions are built either programmatically (operator overloading on
+:class:`Var` / :class:`Const`) or by parsing a text string such as
+``"x*x + 2*x*y + y*y + 2*x + 2*y + 1"``.  They are then *lowered* to a flat
+sum-of-products term list, which is what the addend-matrix builder consumes.
+"""
+
+from repro.expr.ast import Add, Const, Expression, Mul, Neg, Sub, Var
+from repro.expr.parser import parse_expression
+from repro.expr.signals import SignalSpec
+from repro.expr.lowering import Term, combine_terms, lower_to_terms
+
+__all__ = [
+    "Add",
+    "Const",
+    "Expression",
+    "Mul",
+    "Neg",
+    "Sub",
+    "Var",
+    "parse_expression",
+    "SignalSpec",
+    "Term",
+    "combine_terms",
+    "lower_to_terms",
+]

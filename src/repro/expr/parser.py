@@ -1,0 +1,162 @@
+"""Text parser for arithmetic expressions.
+
+Grammar (standard precedence, left associative)::
+
+    expression := term (('+' | '-') term)*
+    term       := unary ('*' unary)*
+    unary      := '-' unary | power
+    power      := atom ('^' INTEGER | '**' INTEGER)?
+    atom       := INTEGER | IDENTIFIER | '(' expression ')'
+
+Examples accepted: ``"x^2 + x + y"``, ``"x*x + 2*x*y + y*y + 2*x + 2*y + 1"``,
+``"x + y - z + x*y - y*z + 10"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.errors import ExpressionError
+from repro.expr.ast import Add, Const, Expression, Mul, Neg, Sub, Var
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<power>\*\*|\^)
+  | (?P<op>[+\-*()])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "bad"
+        value = match.group()
+        if kind == "ws":
+            continue
+        if kind == "bad":
+            raise ExpressionError(
+                f"unexpected character {value!r} at position {match.start()} in {text!r}"
+            )
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # --------------------------------------------------------------- plumbing
+    def _peek(self) -> _Token:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return _Token("eof", "", len(self.text))
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._advance()
+        if token.text != text:
+            raise ExpressionError(
+                f"expected {text!r} at position {token.position} in {self.text!r}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    # ---------------------------------------------------------------- grammar
+    def parse(self) -> Expression:
+        result = self._expression()
+        trailing = self._peek()
+        if trailing.kind != "eof":
+            raise ExpressionError(
+                f"unexpected trailing input {trailing.text!r} at position "
+                f"{trailing.position} in {self.text!r}"
+            )
+        return result
+
+    def _expression(self) -> Expression:
+        node = self._term()
+        while self._peek().text in ("+", "-"):
+            operator = self._advance().text
+            right = self._term()
+            node = Add(node, right) if operator == "+" else Sub(node, right)
+        return node
+
+    def _term(self) -> Expression:
+        node = self._unary()
+        while self._peek().text == "*":
+            self._advance()
+            node = Mul(node, self._unary())
+        return node
+
+    def _unary(self) -> Expression:
+        if self._peek().text == "-":
+            self._advance()
+            return Neg(self._unary())
+        if self._peek().text == "+":
+            self._advance()
+            return self._unary()
+        return self._power()
+
+    def _power(self) -> Expression:
+        base = self._atom()
+        if self._peek().kind == "power":
+            self._advance()
+            exponent_token = self._advance()
+            if exponent_token.kind != "number":
+                raise ExpressionError(
+                    f"exponent must be an integer literal at position "
+                    f"{exponent_token.position} in {self.text!r}"
+                )
+            exponent = int(exponent_token.text)
+            if exponent < 1:
+                raise ExpressionError("exponent must be >= 1")
+            return base ** exponent
+        return base
+
+    def _atom(self) -> Expression:
+        token = self._advance()
+        if token.kind == "number":
+            return Const(int(token.text))
+        if token.kind == "name":
+            return Var(token.text)
+        if token.text == "(":
+            inner = self._expression()
+            self._expect(")")
+            return inner
+        raise ExpressionError(
+            f"unexpected token {token.text!r} at position {token.position} in {self.text!r}"
+        )
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse ``text`` into an expression AST.
+
+    >>> from repro.expr.parser import parse_expression
+    >>> expr = parse_expression("x^2 + x + y")
+    >>> expr.evaluate({"x": 3, "y": 4})
+    16
+    """
+    if not text or not text.strip():
+        raise ExpressionError("cannot parse an empty expression")
+    return _Parser(text).parse()

@@ -1,0 +1,19 @@
+"""End-to-end synthesis flows and method-comparison harnesses."""
+
+from repro.flows.synthesis import (
+    MATRIX_METHODS,
+    SYNTHESIS_METHODS,
+    SynthesisResult,
+    synthesize,
+)
+from repro.flows.compare import ComparisonRow, compare_methods, improvement_pct
+
+__all__ = [
+    "MATRIX_METHODS",
+    "SYNTHESIS_METHODS",
+    "SynthesisResult",
+    "synthesize",
+    "ComparisonRow",
+    "compare_methods",
+    "improvement_pct",
+]

@@ -1,0 +1,87 @@
+"""Method-comparison harness used by the Table 1 / Table 2 benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.designs.base import DatapathDesign
+from repro.flows.synthesis import SynthesisResult, synthesize
+from repro.tech.library import TechLibrary
+from repro.utils.tables import TextTable
+
+
+def improvement_pct(reference: float, improved: float) -> float:
+    """Percentage improvement of ``improved`` over ``reference`` (positive = better)."""
+    if reference == 0:
+        return 0.0
+    return 100.0 * (reference - improved) / reference
+
+
+@dataclass
+class ComparisonRow:
+    """Results of every requested method on one design."""
+
+    design: DatapathDesign
+    results: Dict[str, SynthesisResult] = field(default_factory=dict)
+
+    def delay(self, method: str) -> float:
+        """Design delay (ns) achieved by ``method``."""
+        return self.results[method].delay_ns
+
+    def area(self, method: str) -> float:
+        """Cell area achieved by ``method``."""
+        return self.results[method].area
+
+    def tree_energy(self, method: str) -> float:
+        """Compressor-tree E_switching achieved by ``method``."""
+        return self.results[method].tree_energy
+
+    def delay_improvement(self, reference: str, method: str) -> float:
+        """Delay improvement (percent) of ``method`` over ``reference``."""
+        return improvement_pct(self.delay(reference), self.delay(method))
+
+    def area_improvement(self, reference: str, method: str) -> float:
+        """Area improvement (percent) of ``method`` over ``reference``."""
+        return improvement_pct(self.area(reference), self.area(method))
+
+    def energy_improvement(self, reference: str, method: str) -> float:
+        """Tree-energy improvement (percent) of ``method`` over ``reference``."""
+        return improvement_pct(self.tree_energy(reference), self.tree_energy(method))
+
+
+def compare_methods(
+    design: DatapathDesign,
+    methods: Sequence[str],
+    library: Optional[TechLibrary] = None,
+    final_adder: str = "cla",
+    seed: Optional[int] = 2000,
+) -> ComparisonRow:
+    """Synthesize ``design`` with every method and collect the results."""
+    row = ComparisonRow(design=design)
+    for method in methods:
+        row.results[method] = synthesize(
+            design,
+            method=method,
+            library=library,
+            final_adder=final_adder,
+            seed=seed,
+        )
+    return row
+
+
+def comparison_table(
+    rows: List[ComparisonRow],
+    methods: Sequence[str],
+    metric: str = "delay_ns",
+    title: Optional[str] = None,
+) -> str:
+    """Render one metric of many designs x methods as a text table."""
+    headers = ["design"] + [str(m) for m in methods]
+    table = TextTable(headers, float_digits=3)
+    for row in rows:
+        cells = [row.design.title]
+        for method in methods:
+            cells.append(getattr(row.results[method], metric))
+        table.add_row(cells)
+    return table.render(title=title)

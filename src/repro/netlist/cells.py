@@ -1,0 +1,135 @@
+"""Cell (gate) type definitions: ports, boolean semantics, categories.
+
+The cell set is intentionally small — it is the set of primitives the DAC 2000
+flow needs: full/half adders as the compression primitives, two-input gates
+for partial products and prefix adders, and an inverter for two's-complement
+negation.  Every cell type is combinational and has a fixed port list, so a
+cell instance is fully described by its type plus the nets bound to its ports.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import NetlistError
+
+
+class CellType(str, Enum):
+    """Enumeration of supported cell (gate) types."""
+
+    FA = "FA"
+    HA = "HA"
+    AND2 = "AND2"
+    NAND2 = "NAND2"
+    OR2 = "OR2"
+    NOR2 = "NOR2"
+    XOR2 = "XOR2"
+    XNOR2 = "XNOR2"
+    NOT = "NOT"
+    BUF = "BUF"
+    MUX2 = "MUX2"
+    AOI21 = "AOI21"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: input port names per cell type (order matters for Verilog emission)
+_INPUT_PORTS: Dict[CellType, Tuple[str, ...]] = {
+    CellType.FA: ("a", "b", "cin"),
+    CellType.HA: ("a", "b"),
+    CellType.AND2: ("a", "b"),
+    CellType.NAND2: ("a", "b"),
+    CellType.OR2: ("a", "b"),
+    CellType.NOR2: ("a", "b"),
+    CellType.XOR2: ("a", "b"),
+    CellType.XNOR2: ("a", "b"),
+    CellType.NOT: ("a",),
+    CellType.BUF: ("a",),
+    CellType.MUX2: ("a", "b", "sel"),
+    CellType.AOI21: ("a", "b", "c"),
+}
+
+#: output port names per cell type
+_OUTPUT_PORTS: Dict[CellType, Tuple[str, ...]] = {
+    CellType.FA: ("s", "co"),
+    CellType.HA: ("s", "co"),
+    CellType.AND2: ("y",),
+    CellType.NAND2: ("y",),
+    CellType.OR2: ("y",),
+    CellType.NOR2: ("y",),
+    CellType.XOR2: ("y",),
+    CellType.XNOR2: ("y",),
+    CellType.NOT: ("y",),
+    CellType.BUF: ("y",),
+    CellType.MUX2: ("y",),
+    CellType.AOI21: ("y",),
+}
+
+
+def cell_input_ports(cell_type: CellType) -> Tuple[str, ...]:
+    """Return the ordered input port names of ``cell_type``."""
+    try:
+        return _INPUT_PORTS[cell_type]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise NetlistError(f"unknown cell type {cell_type!r}") from exc
+
+
+def cell_output_ports(cell_type: CellType) -> Tuple[str, ...]:
+    """Return the ordered output port names of ``cell_type``."""
+    try:
+        return _OUTPUT_PORTS[cell_type]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise NetlistError(f"unknown cell type {cell_type!r}") from exc
+
+
+def is_combinational(cell_type: CellType) -> bool:
+    """All supported cells are combinational; kept for API symmetry."""
+    return cell_type in _INPUT_PORTS
+
+
+def evaluate_cell(cell_type: CellType, inputs: Mapping[str, int]) -> Dict[str, int]:
+    """Evaluate the boolean function of a cell on 0/1 input values.
+
+    ``inputs`` maps input port names to 0 or 1.  The return value maps output
+    port names to 0 or 1.  Raises :class:`NetlistError` for missing ports or
+    non-binary values.
+    """
+    for port in cell_input_ports(cell_type):
+        if port not in inputs:
+            raise NetlistError(f"missing value for input port {port!r} of {cell_type}")
+        if inputs[port] not in (0, 1):
+            raise NetlistError(
+                f"non-binary value {inputs[port]!r} on port {port!r} of {cell_type}"
+            )
+
+    if cell_type is CellType.FA:
+        a, b, cin = inputs["a"], inputs["b"], inputs["cin"]
+        total = a + b + cin
+        return {"s": total & 1, "co": (total >> 1) & 1}
+    if cell_type is CellType.HA:
+        a, b = inputs["a"], inputs["b"]
+        total = a + b
+        return {"s": total & 1, "co": (total >> 1) & 1}
+    if cell_type is CellType.AND2:
+        return {"y": inputs["a"] & inputs["b"]}
+    if cell_type is CellType.NAND2:
+        return {"y": 1 - (inputs["a"] & inputs["b"])}
+    if cell_type is CellType.OR2:
+        return {"y": inputs["a"] | inputs["b"]}
+    if cell_type is CellType.NOR2:
+        return {"y": 1 - (inputs["a"] | inputs["b"])}
+    if cell_type is CellType.XOR2:
+        return {"y": inputs["a"] ^ inputs["b"]}
+    if cell_type is CellType.XNOR2:
+        return {"y": 1 - (inputs["a"] ^ inputs["b"])}
+    if cell_type is CellType.NOT:
+        return {"y": 1 - inputs["a"]}
+    if cell_type is CellType.BUF:
+        return {"y": inputs["a"]}
+    if cell_type is CellType.MUX2:
+        return {"y": inputs["b"] if inputs["sel"] else inputs["a"]}
+    if cell_type is CellType.AOI21:
+        return {"y": 1 - ((inputs["a"] & inputs["b"]) | inputs["c"])}
+    raise NetlistError(f"unknown cell type {cell_type!r}")  # pragma: no cover

@@ -1,0 +1,342 @@
+"""Core netlist data structures: :class:`Net`, :class:`Cell`, :class:`Bus`,
+:class:`Netlist`.
+
+A :class:`Netlist` is a directed acyclic graph of combinational cells.  Nets
+are single-bit wires; a :class:`Bus` is an ordered (LSB-first) list of nets
+used to group the bits of a word-level operand or result.  Constant 0/1 nets
+are modelled as driverless nets with ``const_value`` set, so downstream
+engines (timing, power, simulation) treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType, cell_input_ports, cell_output_ports
+
+
+class Net:
+    """A single-bit wire.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the owning netlist.
+    driver:
+        ``(cell, output_port)`` pair, or ``None`` for primary inputs and
+        constants.
+    loads:
+        List of ``(cell, input_port)`` pairs reading this net.
+    is_primary_input:
+        True when the net is a primary input of the netlist.
+    const_value:
+        0 or 1 for constant nets, ``None`` otherwise.
+    """
+
+    __slots__ = ("name", "driver", "loads", "is_primary_input", "const_value", "attributes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.driver: Optional[Tuple["Cell", str]] = None
+        self.loads: List[Tuple["Cell", str]] = []
+        self.is_primary_input = False
+        self.const_value: Optional[int] = None
+        self.attributes: Dict[str, object] = {}
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the net carries a constant 0 or 1."""
+        return self.const_value is not None
+
+    @property
+    def driver_cell(self) -> Optional["Cell"]:
+        """The cell driving this net, or ``None``."""
+        return self.driver[0] if self.driver else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "const" if self.is_constant else ("pi" if self.is_primary_input else "wire")
+        return f"Net({self.name!r}, {kind})"
+
+
+class Cell:
+    """An instance of a combinational cell bound to input and output nets."""
+
+    __slots__ = ("name", "cell_type", "inputs", "outputs", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        cell_type: CellType,
+        inputs: Mapping[str, Net],
+        outputs: Mapping[str, Net],
+    ) -> None:
+        self.name = name
+        self.cell_type = cell_type
+        self.inputs: Dict[str, Net] = dict(inputs)
+        self.outputs: Dict[str, Net] = dict(outputs)
+        self.attributes: Dict[str, object] = {}
+
+    def input_nets(self) -> List[Net]:
+        """Input nets in declared port order."""
+        return [self.inputs[p] for p in cell_input_ports(self.cell_type)]
+
+    def output_nets(self) -> List[Net]:
+        """Output nets in declared port order."""
+        return [self.outputs[p] for p in cell_output_ports(self.cell_type)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.name!r}, {self.cell_type})"
+
+
+class Bus:
+    """An ordered, LSB-first collection of nets forming a word."""
+
+    __slots__ = ("name", "nets")
+
+    def __init__(self, name: str, nets: Sequence[Net]) -> None:
+        self.name = name
+        self.nets: List[Net] = list(nets)
+
+    @property
+    def width(self) -> int:
+        """Number of bits in the bus."""
+        return len(self.nets)
+
+    def __iter__(self) -> Iterator[Net]:
+        return iter(self.nets)
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __getitem__(self, index: int) -> Net:
+        return self.nets[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bus({self.name!r}, width={self.width})"
+
+
+class Netlist:
+    """A named, growable netlist of combinational cells.
+
+    The class is a *builder* as much as a container: generators (compressor
+    trees, adders, multipliers) call :meth:`add_cell` to extend it, and the
+    analysis engines consume the finished graph through :meth:`topological_cells`
+    and the ``nets`` / ``cells`` views.
+    """
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self._nets: Dict[str, Net] = {}
+        self._cells: Dict[str, Cell] = {}
+        self._inputs: List[Net] = []
+        self._outputs: List[Net] = []
+        self.input_buses: Dict[str, Bus] = {}
+        self.output_buses: Dict[str, Bus] = {}
+        self._net_counter = 0
+        self._cell_counter = 0
+        self._const_nets: Dict[int, Net] = {}
+
+    # ------------------------------------------------------------------ views
+    @property
+    def nets(self) -> Dict[str, Net]:
+        """Mapping of net name to :class:`Net` (do not mutate directly)."""
+        return self._nets
+
+    @property
+    def cells(self) -> Dict[str, Cell]:
+        """Mapping of cell name to :class:`Cell` (do not mutate directly)."""
+        return self._cells
+
+    @property
+    def primary_inputs(self) -> List[Net]:
+        """Primary input nets in creation order."""
+        return list(self._inputs)
+
+    @property
+    def primary_outputs(self) -> List[Net]:
+        """Primary output nets in creation order."""
+        return list(self._outputs)
+
+    def num_cells(self) -> int:
+        """Total number of cell instances."""
+        return len(self._cells)
+
+    def cells_of_type(self, cell_type: CellType) -> List[Cell]:
+        """All cells of the given type, in creation order."""
+        return [c for c in self._cells.values() if c.cell_type is cell_type]
+
+    # ------------------------------------------------------------- net create
+    def _unique_net_name(self, prefix: str) -> str:
+        while True:
+            self._net_counter += 1
+            name = f"{prefix}{self._net_counter}"
+            if name not in self._nets:
+                return name
+
+    def add_net(self, name: Optional[str] = None, prefix: str = "n") -> Net:
+        """Create a new internal net.
+
+        If ``name`` is given it must be unique; otherwise a fresh name with the
+        given prefix is generated.
+        """
+        if name is None:
+            name = self._unique_net_name(prefix)
+        elif name in self._nets:
+            raise NetlistError(f"net name {name!r} already exists in netlist {self.name!r}")
+        net = Net(name)
+        self._nets[name] = net
+        return net
+
+    def add_input(self, name: str) -> Net:
+        """Create a primary input net."""
+        net = self.add_net(name)
+        net.is_primary_input = True
+        self._inputs.append(net)
+        return net
+
+    def add_input_bus(self, name: str, width: int) -> Bus:
+        """Create ``width`` primary inputs named ``name[0]`` ... ``name[w-1]``."""
+        if width <= 0:
+            raise NetlistError(f"bus {name!r} must have positive width, got {width}")
+        if name in self.input_buses:
+            raise NetlistError(f"input bus {name!r} already exists")
+        nets = [self.add_input(f"{name}[{i}]") for i in range(width)]
+        bus = Bus(name, nets)
+        self.input_buses[name] = bus
+        return bus
+
+    def const(self, value: int) -> Net:
+        """Return the shared constant-0 or constant-1 net, creating it lazily."""
+        if value not in (0, 1):
+            raise NetlistError(f"constant nets carry 0 or 1, got {value!r}")
+        if value not in self._const_nets:
+            net = self.add_net(f"const{value}")
+            net.const_value = value
+            self._const_nets[value] = net
+        return self._const_nets[value]
+
+    # ------------------------------------------------------------ cell create
+    def _unique_cell_name(self, prefix: str) -> str:
+        while True:
+            self._cell_counter += 1
+            name = f"{prefix}{self._cell_counter}"
+            if name not in self._cells:
+                return name
+
+    def add_cell(
+        self,
+        cell_type: CellType,
+        inputs: Mapping[str, Net],
+        name: Optional[str] = None,
+        output_prefix: Optional[str] = None,
+    ) -> Cell:
+        """Instantiate a cell, creating one fresh net per output port.
+
+        ``inputs`` must bind every input port of the cell type to a net that
+        already belongs to this netlist.
+        """
+        expected = cell_input_ports(cell_type)
+        missing = [p for p in expected if p not in inputs]
+        extra = [p for p in inputs if p not in expected]
+        if missing or extra:
+            raise NetlistError(
+                f"bad port binding for {cell_type}: missing={missing}, unexpected={extra}"
+            )
+        for port, net in inputs.items():
+            if self._nets.get(net.name) is not net:
+                raise NetlistError(
+                    f"net {net.name!r} bound to port {port!r} does not belong to "
+                    f"netlist {self.name!r}"
+                )
+
+        if name is None:
+            name = self._unique_cell_name(f"{cell_type.value.lower()}_")
+        elif name in self._cells:
+            raise NetlistError(f"cell name {name!r} already exists in netlist {self.name!r}")
+
+        prefix = output_prefix or f"{name}_"
+        outputs = {
+            port: self.add_net(prefix=f"{prefix}{port}_")
+            for port in cell_output_ports(cell_type)
+        }
+        cell = Cell(name, cell_type, inputs, outputs)
+        self._cells[name] = cell
+        for port, net in inputs.items():
+            net.loads.append((cell, port))
+        for port, net in outputs.items():
+            net.driver = (cell, port)
+        return cell
+
+    # ---------------------------------------------------------------- outputs
+    def set_output(self, net: Net) -> None:
+        """Mark a net as a primary output (idempotent)."""
+        if self._nets.get(net.name) is not net:
+            raise NetlistError(f"net {net.name!r} does not belong to netlist {self.name!r}")
+        if net not in self._outputs:
+            self._outputs.append(net)
+
+    def set_output_bus(self, bus: Bus, name: Optional[str] = None) -> Bus:
+        """Register a bus as the (or an) output word of the netlist."""
+        bus_name = name or bus.name
+        for net in bus.nets:
+            self.set_output(net)
+        registered = Bus(bus_name, bus.nets)
+        self.output_buses[bus_name] = registered
+        return registered
+
+    # ------------------------------------------------------------- traversal
+    def topological_cells(self) -> List[Cell]:
+        """Cells in topological (fanin-before-fanout) order.
+
+        Raises :class:`NetlistError` if the netlist contains a combinational
+        cycle.
+        """
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {name: [] for name in self._cells}
+        for name, cell in self._cells.items():
+            count = 0
+            for net in cell.inputs.values():
+                if net.driver is not None:
+                    driver_name = net.driver[0].name
+                    dependents[driver_name].append(name)
+                    count += 1
+            indegree[name] = count
+
+        ready = deque(sorted(name for name, deg in indegree.items() if deg == 0))
+        order: List[Cell] = []
+        while ready:
+            name = ready.popleft()
+            order.append(self._cells[name])
+            for dependent in dependents[name]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self._cells):
+            raise NetlistError(
+                f"netlist {self.name!r} contains a combinational cycle "
+                f"({len(self._cells) - len(order)} cells unreachable)"
+            )
+        return order
+
+    def transitive_fanin(self, nets: Iterable[Net]) -> List[Cell]:
+        """All cells in the transitive fanin cone of the given nets."""
+        seen: Dict[str, Cell] = {}
+        frontier = [net for net in nets]
+        while frontier:
+            net = frontier.pop()
+            if net.driver is None:
+                continue
+            cell = net.driver[0]
+            if cell.name in seen:
+                continue
+            seen[cell.name] = cell
+            frontier.extend(cell.inputs.values())
+        return list(seen.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}, cells={len(self._cells)}, nets={len(self._nets)}, "
+            f"inputs={len(self._inputs)}, outputs={len(self._outputs)})"
+        )

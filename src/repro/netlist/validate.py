@@ -1,0 +1,75 @@
+"""Structural validation of netlists.
+
+The generators in this package build netlists programmatically; validation is
+a cheap safety net run by the tests and (optionally) by the flows before
+handing a netlist to the simulator or the Verilog emitter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.cells import cell_input_ports, cell_output_ports
+from repro.netlist.core import Netlist
+
+
+def validate_netlist(netlist: Netlist, allow_dangling: bool = True) -> List[str]:
+    """Check structural invariants of ``netlist``.
+
+    Returns a list of human-readable warnings (possibly empty) and raises
+    :class:`NetlistError` for hard violations:
+
+    * every cell port is bound to a net owned by the netlist;
+    * every non-constant, non-input net has exactly one driver;
+    * load lists are consistent with cell input bindings;
+    * the cell graph is acyclic (checked via topological sort).
+
+    With ``allow_dangling=False``, nets with no loads that are not primary
+    outputs are reported as hard errors too; by default they only produce
+    warnings (compressor trees legitimately leave a few unused carries when
+    the output width truncates the matrix).
+    """
+    warnings: List[str] = []
+
+    for cell in netlist.cells.values():
+        for port in cell_input_ports(cell.cell_type):
+            net = cell.inputs.get(port)
+            if net is None:
+                raise NetlistError(f"cell {cell.name!r} leaves input port {port!r} unbound")
+            if netlist.nets.get(net.name) is not net:
+                raise NetlistError(
+                    f"cell {cell.name!r} input {port!r} references foreign net {net.name!r}"
+                )
+            if (cell, port) not in net.loads:
+                raise NetlistError(
+                    f"net {net.name!r} is missing load entry for {cell.name!r}.{port}"
+                )
+        for port in cell_output_ports(cell.cell_type):
+            net = cell.outputs.get(port)
+            if net is None:
+                raise NetlistError(f"cell {cell.name!r} leaves output port {port!r} unbound")
+            if net.driver != (cell, port):
+                raise NetlistError(
+                    f"net {net.name!r} driver does not point back to {cell.name!r}.{port}"
+                )
+
+    primary_outputs = set(net.name for net in netlist.primary_outputs)
+    for net in netlist.nets.values():
+        has_driver = net.driver is not None
+        if net.is_primary_input and has_driver:
+            raise NetlistError(f"primary input {net.name!r} is also driven by a cell")
+        if net.is_constant and has_driver:
+            raise NetlistError(f"constant net {net.name!r} is driven by a cell")
+        if not net.is_primary_input and not net.is_constant and not has_driver:
+            raise NetlistError(f"net {net.name!r} has no driver and is not an input/constant")
+        if not net.loads and net.name not in primary_outputs and not net.is_constant:
+            message = f"net {net.name!r} has no loads and is not a primary output"
+            if allow_dangling:
+                warnings.append(message)
+            else:
+                raise NetlistError(message)
+
+    # Raises on cycles.
+    netlist.topological_cells()
+    return warnings

@@ -1,0 +1,18 @@
+"""Power estimation: signal-probability propagation and switching energy."""
+
+from repro.power.probability import ProbabilityResult, propagate_probabilities
+from repro.power.switching import (
+    PowerResult,
+    compressor_tree_switching_energy,
+    estimate_power,
+)
+from repro.power.report import power_report
+
+__all__ = [
+    "ProbabilityResult",
+    "propagate_probabilities",
+    "PowerResult",
+    "compressor_tree_switching_energy",
+    "estimate_power",
+    "power_report",
+]

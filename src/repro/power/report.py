@@ -1,0 +1,21 @@
+"""Plain-text power reports."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.core import Netlist
+from repro.power.switching import PowerResult
+
+
+def power_report(netlist: Netlist, power: PowerResult) -> str:
+    """Render a short power report."""
+    lines: List[str] = []
+    lines.append(f"Power report for {netlist.name!r}")
+    lines.append(f"  total switching energy      : {power.total_energy:.4f}")
+    lines.append(f"  compressor tree E_switching : {power.tree_energy:.4f}")
+    lines.append(f"  total switching activity    : {power.total_switching:.4f}")
+    lines.append("  energy by cell type:")
+    for cell_type, energy in sorted(power.by_cell_type.items()):
+        lines.append(f"    {cell_type:<8} {energy:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Reporting helpers: paper reference data and table builders."""
+
+from repro.report.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PaperTable1Row,
+    PaperTable2Row,
+)
+from repro.report.tables import table1_report, table2_report
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PaperTable1Row",
+    "PaperTable2Row",
+    "table1_report",
+    "table2_report",
+]

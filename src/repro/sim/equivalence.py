@@ -1,0 +1,85 @@
+"""Equivalence checking: synthesized netlist vs. the expression's semantics.
+
+Every synthesized netlist must compute ``expression(inputs) mod 2**W`` on its
+output bus.  For small total input widths the check is exhaustive; otherwise a
+configurable number of random vectors is used.  This is the workhorse behind
+the "functional equivalence" invariant of DESIGN.md and is run by the tests
+for every allocation method and every benchmark design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.expr.ast import Expression
+from repro.expr.signals import SignalSpec
+from repro.netlist.core import Bus, Netlist
+from repro.sim.evaluator import bus_value, evaluate_netlist
+from repro.sim.vectors import exhaustive_vectors, random_vectors, total_input_width
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    vectors_checked: int
+    exhaustive: bool
+    mismatches: List[Dict[str, int]] = field(default_factory=list)
+
+    def assert_ok(self) -> None:
+        """Raise :class:`SimulationError` when the check failed."""
+        if not self.equivalent:
+            example = self.mismatches[0] if self.mismatches else {}
+            raise SimulationError(
+                f"netlist is not equivalent to its expression; first mismatch: {example}"
+            )
+
+
+def check_equivalence(
+    netlist: Netlist,
+    output_bus: Bus,
+    expression: Expression,
+    signals: Mapping[str, SignalSpec],
+    output_width: Optional[int] = None,
+    random_vector_count: int = 64,
+    exhaustive_width_limit: int = 14,
+    seed: int = 2000,
+    max_mismatches: int = 5,
+) -> EquivalenceReport:
+    """Check that the netlist output equals the expression modulo 2**W.
+
+    ``exhaustive_width_limit`` bounds the total input width for which every
+    combination is tried; larger designs fall back to random vectors.
+    """
+    width = output_width if output_width is not None else output_bus.width
+    modulo = 1 << width
+
+    if total_input_width(signals) <= exhaustive_width_limit:
+        vectors = list(exhaustive_vectors(signals))
+        exhaustive = True
+    else:
+        vectors = random_vectors(signals, random_vector_count, seed=seed)
+        exhaustive = False
+
+    mismatches: List[Dict[str, int]] = []
+    for vector in vectors:
+        values = evaluate_netlist(netlist, vector)
+        produced = bus_value(values, output_bus) % modulo
+        expected = expression.evaluate(vector) % modulo
+        if produced != expected:
+            record = dict(vector)
+            record["expected"] = expected
+            record["produced"] = produced
+            mismatches.append(record)
+            if len(mismatches) >= max_mismatches:
+                break
+
+    return EquivalenceReport(
+        equivalent=not mismatches,
+        vectors_checked=len(vectors),
+        exhaustive=exhaustive,
+        mismatches=mismatches,
+    )

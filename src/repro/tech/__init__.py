@@ -1,0 +1,19 @@
+"""Technology library models.
+
+A :class:`TechLibrary` provides, per cell type: pin-to-pin delays, cell area
+and per-output switching energy.  The default :func:`generic_035` library
+plays the role of the LSI Logic ``lcbg10pv`` 0.35 um library used in the
+paper; :func:`unit_library` provides unit delays/areas/energies for
+algorithm-level reasoning and tests.
+"""
+
+from repro.tech.library import CellSpec, TechLibrary
+from repro.tech.default_libs import generic_035, unit_library, scaled_library
+
+__all__ = [
+    "CellSpec",
+    "TechLibrary",
+    "generic_035",
+    "unit_library",
+    "scaled_library",
+]

@@ -1,0 +1,13 @@
+"""Static timing analysis over gate-level netlists."""
+
+from repro.timing.arrival import TimingResult, compute_arrival_times
+from repro.timing.critical_path import PathStep, extract_critical_path
+from repro.timing.report import timing_report
+
+__all__ = [
+    "TimingResult",
+    "compute_arrival_times",
+    "PathStep",
+    "extract_critical_path",
+    "timing_report",
+]

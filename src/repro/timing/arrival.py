@@ -1,0 +1,134 @@
+"""Arrival-time propagation (static timing analysis).
+
+A topological sweep computes, for every net, the latest time at which its
+value can settle, given primary-input arrival times and the library's
+pin-to-pin cell delays.  This is the "sign-off" view of timing; the allocation
+algorithms use the simpler Ds/Dc model while they build the tree, and the
+tests check that both views agree on FA/HA-only structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+from repro.errors import NetlistError
+from repro.netlist.cells import cell_input_ports, cell_output_ports
+from repro.netlist.core import Net, Netlist
+from repro.tech.library import TechLibrary
+
+ArrivalMap = Mapping[Union[str, Net], float]
+
+
+@dataclass
+class TimingResult:
+    """Output of :func:`compute_arrival_times`."""
+
+    netlist_name: str
+    arrivals: Dict[str, float]
+    worst_output_net: Optional[str] = None
+    worst_output_arrival: float = 0.0
+    worst_net: Optional[str] = None
+    worst_arrival: float = 0.0
+    input_arrivals: Dict[str, float] = field(default_factory=dict)
+
+    def arrival_of(self, net: Union[str, Net]) -> float:
+        """Arrival time of a net (by name or object)."""
+        name = net.name if isinstance(net, Net) else net
+        if name not in self.arrivals:
+            raise NetlistError(f"no arrival time recorded for net {name!r}")
+        return self.arrivals[name]
+
+    @property
+    def delay(self) -> float:
+        """The design delay: worst arrival over primary outputs.
+
+        Falls back to the worst arrival over all nets when the netlist has no
+        registered primary outputs.
+        """
+        if self.worst_output_net is not None:
+            return self.worst_output_arrival
+        return self.worst_arrival
+
+
+def _normalize_input_arrivals(
+    netlist: Netlist, input_arrivals: Optional[ArrivalMap]
+) -> Dict[str, float]:
+    """Resolve user-provided arrival times to a name-keyed dict."""
+    resolved: Dict[str, float] = {}
+    if not input_arrivals:
+        return resolved
+    for key, value in input_arrivals.items():
+        name = key.name if isinstance(key, Net) else str(key)
+        if name not in netlist.nets:
+            raise NetlistError(f"arrival given for unknown net {name!r}")
+        resolved[name] = float(value)
+    return resolved
+
+
+def compute_arrival_times(
+    netlist: Netlist,
+    library: TechLibrary,
+    input_arrivals: Optional[ArrivalMap] = None,
+    default_input_arrival: float = 0.0,
+    use_net_attributes: bool = True,
+) -> TimingResult:
+    """Propagate arrival times through the netlist.
+
+    Primary-input arrivals are taken, in priority order, from
+    ``input_arrivals``, from the net's ``attributes["arrival"]`` annotation
+    (written by the matrix builder) when ``use_net_attributes`` is set, and
+    finally from ``default_input_arrival``.  Constant nets arrive at time 0.
+    """
+    explicit = _normalize_input_arrivals(netlist, input_arrivals)
+    arrivals: Dict[str, float] = {}
+
+    for net in netlist.nets.values():
+        if net.is_constant:
+            arrivals[net.name] = 0.0
+        elif net.is_primary_input:
+            if net.name in explicit:
+                arrivals[net.name] = explicit[net.name]
+            elif use_net_attributes and "arrival" in net.attributes:
+                arrivals[net.name] = float(net.attributes["arrival"])  # type: ignore[arg-type]
+            else:
+                arrivals[net.name] = default_input_arrival
+
+    for cell in netlist.topological_cells():
+        for out_port in cell_output_ports(cell.cell_type):
+            worst = 0.0
+            for in_port in cell_input_ports(cell.cell_type):
+                in_net = cell.inputs[in_port]
+                in_arrival = arrivals.get(in_net.name, default_input_arrival)
+                worst = max(
+                    worst,
+                    in_arrival + library.delay(cell.cell_type, in_port, out_port),
+                )
+            arrivals[cell.outputs[out_port].name] = worst
+
+    worst_net = None
+    worst_arrival = 0.0
+    for name, value in arrivals.items():
+        if worst_net is None or value > worst_arrival:
+            worst_net, worst_arrival = name, value
+
+    worst_output_net = None
+    worst_output_arrival = 0.0
+    for net in netlist.primary_outputs:
+        value = arrivals.get(net.name, 0.0)
+        if worst_output_net is None or value > worst_output_arrival:
+            worst_output_net, worst_output_arrival = net.name, value
+
+    return TimingResult(
+        netlist_name=netlist.name,
+        arrivals=arrivals,
+        worst_output_net=worst_output_net,
+        worst_output_arrival=worst_output_arrival,
+        worst_net=worst_net,
+        worst_arrival=worst_arrival,
+        input_arrivals={
+            net.name: arrivals[net.name]
+            for net in netlist.primary_inputs
+            if net.name in arrivals
+        },
+    )

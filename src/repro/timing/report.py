@@ -1,0 +1,38 @@
+"""Plain-text timing reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netlist.core import Netlist
+from repro.tech.library import TechLibrary
+from repro.timing.arrival import TimingResult
+from repro.timing.critical_path import extract_critical_path
+
+
+def timing_report(
+    netlist: Netlist,
+    library: TechLibrary,
+    timing: TimingResult,
+    max_path_steps: Optional[int] = 20,
+) -> str:
+    """Render a short timing report: delay, worst output and critical path."""
+    lines: List[str] = []
+    lines.append(f"Timing report for {netlist.name!r} (library {library.name!r})")
+    lines.append(f"  design delay          : {timing.delay:.3f} ns")
+    if timing.worst_output_net:
+        lines.append(
+            f"  worst primary output  : {timing.worst_output_net} "
+            f"@ {timing.worst_output_arrival:.3f} ns"
+        )
+    lines.append(f"  worst internal net    : {timing.worst_net} @ {timing.worst_arrival:.3f} ns")
+
+    path = extract_critical_path(netlist, library, timing)
+    lines.append(f"  critical path ({len(path)} steps):")
+    shown = path if max_path_steps is None else path[-max_path_steps:]
+    hidden = len(path) - len(shown)
+    if hidden > 0:
+        lines.append(f"    ... ({hidden} earlier steps omitted)")
+    for step in shown:
+        lines.append(f"    {step.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Small shared helpers used across the repro package."""
+
+from repro.utils.bits import (
+    bit_length,
+    bits_of,
+    columns_of_constant,
+    csd_digits,
+    signed_value,
+    to_twos_complement,
+    from_twos_complement,
+)
+from repro.utils.tables import TextTable, format_float
+
+__all__ = [
+    "bit_length",
+    "bits_of",
+    "columns_of_constant",
+    "csd_digits",
+    "signed_value",
+    "to_twos_complement",
+    "from_twos_complement",
+    "TextTable",
+    "format_float",
+]

@@ -1,0 +1,106 @@
+"""Bit-manipulation helpers shared by the matrix builder and the simulators.
+
+All functions treat integers as unbounded Python ints; width-limited behaviour
+(modulo ``2**width``) is always explicit in the function signature.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def bit_length(value: int) -> int:
+    """Number of bits needed to represent ``value`` (at least 1).
+
+    >>> bit_length(0)
+    1
+    >>> bit_length(5)
+    3
+    """
+    if value < 0:
+        raise ValueError("bit_length is defined for non-negative values only")
+    return max(1, value.bit_length())
+
+
+def bits_of(value: int, width: int) -> List[int]:
+    """Return the ``width`` least-significant bits of ``value``, LSB first.
+
+    >>> bits_of(6, 4)
+    [0, 1, 1, 0]
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def columns_of_constant(value: int, width: int) -> List[int]:
+    """Columns (bit positions) at which ``value mod 2**width`` has a 1 bit.
+
+    >>> columns_of_constant(10, 8)
+    [1, 3]
+    >>> columns_of_constant(-1, 4)
+    [0, 1, 2, 3]
+    """
+    if width <= 0:
+        return []
+    reduced = value % (1 << width)
+    return [i for i in range(width) if (reduced >> i) & 1]
+
+
+def to_twos_complement(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer into ``width``-bit two's complement."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return value % (1 << width)
+
+
+def from_twos_complement(value: int, width: int) -> int:
+    """Decode a ``width``-bit unsigned value as a signed two's-complement integer."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    value %= 1 << width
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def signed_value(bits: List[int]) -> int:
+    """Interpret an LSB-first bit list as a signed two's-complement integer."""
+    if not bits:
+        return 0
+    unsigned = sum(b << i for i, b in enumerate(bits))
+    return from_twos_complement(unsigned, len(bits))
+
+
+def csd_digits(value: int) -> List[int]:
+    """Canonical signed-digit (CSD) recoding of a non-negative integer.
+
+    Returns a list of digits in ``{-1, 0, +1}``, LSB first, such that
+    ``sum(d * 2**i) == value`` and no two adjacent digits are non-zero.  CSD is
+    used as an optional recoding for constant multiplications; it minimises the
+    number of non-zero digits, which maps directly to the number of addend rows
+    contributed by a constant coefficient.
+
+    >>> csd_digits(7)
+    [-1, 0, 0, 1]
+    >>> sum(d * 2**i for i, d in enumerate(csd_digits(173))) == 173
+    True
+    """
+    if value < 0:
+        raise ValueError("csd_digits expects a non-negative value")
+    digits: List[int] = []
+    while value:
+        if value & 1:
+            # Choose the digit so that the remaining value becomes even and the
+            # next digit is forced to zero (the classic non-adjacent form).
+            digit = 2 - (value % 4)
+            if digit == 2:
+                digit = -1 if (value % 4) == 3 else 1
+            digits.append(digit)
+            value -= digit
+        else:
+            digits.append(0)
+        value >>= 1
+    if not digits:
+        digits = [0]
+    return digits

@@ -1,0 +1,76 @@
+"""Plain-text table rendering used by reports, benchmarks and the CLI.
+
+The tables produced here intentionally mimic the layout of the tables in the
+paper (a header row, one row per design, percentage-improvement columns) so
+that benchmark output can be compared side by side with the published numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float with a fixed number of decimals, stripping ``-0.00``."""
+    text = f"{value:.{digits}f}"
+    if text == f"-0.{'0' * digits}":
+        text = f"0.{'0' * digits}"
+    return text
+
+
+class TextTable:
+    """A minimal text-table builder.
+
+    >>> table = TextTable(["design", "delay (ns)"])
+    >>> table.add_row(["iir", 3.68])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    design | delay (ns)
+    -------+-----------
+    iir    | 3.68
+    """
+
+    def __init__(self, headers: Sequence[str], float_digits: int = 2) -> None:
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+        self.float_digits = float_digits
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append a row; floats are formatted, ``None`` renders as ``-``."""
+        formatted: List[str] = []
+        for cell in cells:
+            if cell is None:
+                formatted.append("-")
+            elif isinstance(cell, float):
+                formatted.append(format_float(cell, self.float_digits))
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(formatted)
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Render the table as an aligned plain-text block."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_row(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+        separator = "-+-".join("-" * width for width in widths)
+        lines = []
+        if title:
+            lines.append(title)
+            lines.append("=" * len(title))
+        lines.append(render_row(self.headers))
+        lines.append(separator)
+        lines.extend(render_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.render()

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.delay_model import FADelayModel
+from repro.core.power_model import FAPowerModel
+from repro.designs.registry import get_design
+from repro.expr.ast import Var
+from repro.expr.signals import SignalSpec
+from repro.tech.default_libs import generic_035, unit_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The default generic 0.35 um-like technology library."""
+    return generic_035()
+
+
+@pytest.fixture(scope="session")
+def unit_lib():
+    """Unit-delay library (FA: Ds=2, Dc=1, Ws=Wc=1 — the paper's example values)."""
+    return unit_library()
+
+
+@pytest.fixture()
+def paper_delay_model():
+    """Ds=2, Dc=1 as used in Figure 2 of the paper."""
+    return FADelayModel.paper_example()
+
+
+@pytest.fixture()
+def paper_power_model():
+    """Ws=Wc=1 as used in Figure 4 of the paper."""
+    return FAPowerModel.paper_example()
+
+
+@pytest.fixture()
+def small_design():
+    """A small two-operand design used by many flow-level tests."""
+    x, y = Var("x"), Var("y")
+    from repro.designs.base import DatapathDesign
+
+    return DatapathDesign(
+        name="small_quadratic",
+        title="x*x + 3*y + 5",
+        expression=x * x + 3 * y + 5,
+        signals={
+            "x": SignalSpec("x", 4, arrival=[0.0, 0.2, 0.4, 0.6]),
+            "y": SignalSpec("y", 4, probability=[0.1, 0.5, 0.9, 0.3]),
+        },
+        output_width=9,
+        description="Small design for unit tests.",
+    )
+
+
+@pytest.fixture()
+def subtract_design():
+    """A design exercising subtraction and constants."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    from repro.designs.base import DatapathDesign
+
+    return DatapathDesign(
+        name="small_subtract",
+        title="x*y - z + 7",
+        expression=x * y - z + 7,
+        signals={
+            "x": SignalSpec("x", 3),
+            "y": SignalSpec("y", 3, arrival=0.5),
+            "z": SignalSpec("z", 4, probability=0.3),
+        },
+        output_width=7,
+        description="Small subtraction design for unit tests.",
+    )
+
+
+@pytest.fixture(scope="session")
+def x2_design():
+    """The paper's smallest benchmark (X^2 with a 3-bit X)."""
+    return get_design("x2")

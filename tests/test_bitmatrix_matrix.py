@@ -1,0 +1,113 @@
+"""Tests for the addend matrix container and the Addend record."""
+
+import pytest
+
+from repro.bitmatrix.addend import Addend
+from repro.bitmatrix.matrix import AddendMatrix
+from repro.errors import AllocationError
+from repro.netlist.core import Netlist
+
+
+def _addend(netlist, column, arrival=0.0, probability=0.5):
+    return Addend(netlist.add_net(), column, arrival, probability)
+
+
+class TestAddend:
+    def test_q_and_switching(self):
+        netlist = Netlist("t")
+        addend = _addend(netlist, 0, probability=0.8)
+        assert addend.q_value == pytest.approx(0.3)
+        assert addend.switching == pytest.approx(0.16)
+
+    def test_shifted_preserves_metadata(self):
+        netlist = Netlist("t")
+        addend = Addend(netlist.add_net(), 2, 1.5, 0.7, origin="pp", row=3)
+        moved = addend.shifted(4)
+        assert moved.column == 6
+        assert moved.arrival == 1.5
+        assert moved.probability == 0.7
+        assert moved.origin == "pp"
+        assert moved.row == 3
+
+    def test_sequence_monotonic(self):
+        netlist = Netlist("t")
+        first = _addend(netlist, 0)
+        second = _addend(netlist, 0)
+        assert second.sequence > first.sequence
+
+    def test_constant_flag(self):
+        netlist = Netlist("t")
+        addend = Addend(netlist.const(1), 0, probability=1.0)
+        assert addend.is_constant
+        assert "col0" in addend.describe()
+
+
+class TestAddendMatrix:
+    def test_add_and_heights(self):
+        netlist = Netlist("t")
+        matrix = AddendMatrix(4)
+        assert matrix.add(_addend(netlist, 0))
+        assert matrix.add(_addend(netlist, 0))
+        assert matrix.add(_addend(netlist, 3))
+        assert matrix.heights() == [2, 0, 0, 1]
+        assert matrix.max_height() == 2
+        assert matrix.total_addends() == 3
+        assert matrix.height(0) == 2
+
+    def test_out_of_width_dropped(self):
+        netlist = Netlist("t")
+        matrix = AddendMatrix(4)
+        assert not matrix.add(_addend(netlist, 4))
+        assert matrix.total_addends() == 0
+
+    def test_negative_column_rejected(self):
+        netlist = Netlist("t")
+        matrix = AddendMatrix(4)
+        with pytest.raises(AllocationError):
+            matrix.add(_addend(netlist, -1))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(AllocationError):
+            AddendMatrix(0)
+
+    def test_column_bounds_checked(self):
+        matrix = AddendMatrix(2)
+        with pytest.raises(AllocationError):
+            matrix.column(2)
+
+    def test_is_reduced(self):
+        netlist = Netlist("t")
+        matrix = AddendMatrix(2)
+        for _ in range(2):
+            matrix.add(_addend(netlist, 0))
+        assert matrix.is_reduced()
+        matrix.add(_addend(netlist, 0))
+        assert not matrix.is_reduced()
+
+    def test_copy_is_shallow_but_independent(self):
+        netlist = Netlist("t")
+        matrix = AddendMatrix(2)
+        original = _addend(netlist, 0)
+        matrix.add(original)
+        clone = matrix.copy()
+        clone.add(_addend(netlist, 0))
+        assert matrix.height(0) == 1
+        assert clone.height(0) == 2
+        assert clone.column(0)[0] is original
+
+    def test_extend_counts_inserted(self):
+        netlist = Netlist("t")
+        matrix = AddendMatrix(2)
+        inserted = matrix.extend([_addend(netlist, 0), _addend(netlist, 5)])
+        assert inserted == 1
+
+    def test_dump_and_expected_value(self):
+        netlist = Netlist("t")
+        matrix = AddendMatrix(3, name="demo")
+        matrix.add(_addend(netlist, 1, probability=1.0))
+        text = matrix.dump()
+        assert "demo" in text and "col   1" in text
+        summary = matrix.expected_value()
+        assert summary["expected_value"] == pytest.approx(2.0)
+        truncated = matrix.dump(max_entries_per_column=0)
+        assert "more" in truncated

@@ -1,0 +1,136 @@
+"""Tests for partial-product generation and gate sharing."""
+
+import pytest
+
+from repro.bitmatrix.partial_products import (
+    BitSignal,
+    ProductBitFactory,
+    and_array_product,
+)
+from repro.errors import AllocationError
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+from repro.tech.default_libs import generic_035
+
+
+def _bits(netlist, name, width, arrival=0.0, probability=0.5):
+    bus = netlist.add_input_bus(name, width)
+    return [BitSignal(net, arrival, probability) for net in bus.nets]
+
+
+class TestProductBitFactory:
+    def test_and_is_cached_and_commutative(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 2)
+        first = factory.and_of(x[0], x[1])
+        second = factory.and_of(x[1], x[0])
+        assert first.net is second.net
+        assert factory.and_gates_created == 1
+
+    def test_and_of_same_bit_is_identity(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 1)
+        assert factory.and_of(x[0], x[0]).net is x[0].net
+        assert factory.and_gates_created == 0
+
+    def test_constant_folding(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 1)
+        one = factory.constant(1)
+        zero = factory.constant(0)
+        assert factory.and_of(x[0], one).net is x[0].net
+        assert factory.and_of(x[0], zero).net.is_constant
+        assert factory.and_of(x[0], zero).net.const_value == 0
+
+    def test_not_cached_and_annotated(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 1, arrival=1.0, probability=0.2)
+        first = factory.not_of(x[0])
+        second = factory.not_of(x[0])
+        assert first.net is second.net
+        assert factory.not_gates_created == 1
+        assert first.probability == pytest.approx(0.8)
+        assert first.arrival > 1.0
+
+    def test_not_of_constant(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        assert factory.not_of(factory.constant(0)).net.const_value == 1
+
+    def test_arrival_and_probability_propagation(self):
+        netlist = Netlist("t")
+        library = generic_035()
+        factory = ProductBitFactory(netlist, library)
+        x = _bits(netlist, "x", 1, arrival=1.0, probability=0.5)
+        y = _bits(netlist, "y", 1, arrival=2.0, probability=0.25)
+        product = factory.and_of(x[0], y[0])
+        assert product.arrival == pytest.approx(2.0 + library.worst_delay(CellType.AND2, "y"))
+        assert product.probability == pytest.approx(0.125)
+
+    def test_product_of_many_bits(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 4)
+        result = factory.product_of(x)
+        assert result.probability == pytest.approx(0.5 ** 4)
+        with pytest.raises(AllocationError):
+            factory.product_of([])
+
+
+class TestAndArrayProduct:
+    def test_two_operand_counts(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 3)
+        y = _bits(netlist, "y", 2)
+        products = and_array_product(factory, [x, y], max_column=8)
+        assert len(products) == 6
+        columns = sorted(p.column for p in products)
+        assert columns == [0, 1, 1, 2, 2, 3]
+
+    def test_single_operand_passthrough(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 3)
+        products = and_array_product(factory, [x], max_column=8)
+        assert [p.column for p in products] == [0, 1, 2]
+        assert all(p.signal.net is x[i].net for i, p in enumerate(products))
+        assert factory.and_gates_created == 0
+
+    def test_three_operand_product(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 2)
+        y = _bits(netlist, "y", 2)
+        z = _bits(netlist, "z", 2)
+        products = and_array_product(factory, [x, y, z], max_column=16)
+        assert len(products) == 8
+        assert max(p.column for p in products) == 3
+
+    def test_column_pruning(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 4)
+        y = _bits(netlist, "y", 4)
+        products = and_array_product(factory, [x, y], max_column=3)
+        assert all(p.column < 3 for p in products)
+        assert len(products) == 6  # columns 0,1,1,2,2,2
+
+    def test_empty_operands_rejected(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        with pytest.raises(AllocationError):
+            and_array_product(factory, [], max_column=4)
+
+    def test_square_shares_gates(self):
+        netlist = Netlist("t")
+        factory = ProductBitFactory(netlist, generic_035())
+        x = _bits(netlist, "x", 4)
+        and_array_product(factory, [x, x], max_column=16)
+        # 16 combinations, but x_i&x_i is free and x_i&x_j == x_j&x_i is shared:
+        # only C(4,2) = 6 AND gates are needed.
+        assert factory.and_gates_created == 6

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("list-designs", "synth", "compare", "table1", "table2"):
+            assert command in text
+
+
+class TestCommands:
+    def test_list_designs(self, capsys):
+        assert main(["list-designs"]) == 0
+        out = capsys.readouterr().out
+        assert "x2" in out
+        assert "serial_adapter" in out
+
+    def test_synth_with_reports(self, capsys):
+        code = main(
+            ["synth", "--design", "x2", "--method", "fa_aot", "--timing", "--power"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fa_aot" in out
+        assert "Timing report" in out
+        assert "Power report" in out
+
+    def test_synth_writes_verilog(self, tmp_path, capsys):
+        target = tmp_path / "x2.v"
+        code = main(["synth", "--design", "x2", "--verilog", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "module x2_fa_aot(" in text
+        assert "endmodule" in text
+
+    def test_synth_random_probabilities(self, capsys):
+        assert main(["synth", "--design", "x2", "--random-probabilities"]) == 0
+
+    def test_synth_unit_library(self, capsys):
+        assert main(["synth", "--design", "x2", "--library", "unit"]) == 0
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "--design", "x2", "--library", "bogus"])
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--design", "x2", "--methods", "fa_aot", "wallace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fa_aot" in out and "wallace" in out
+
+    def test_table1_single_design(self, capsys):
+        code = main(["table1", "--designs", "x2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_table2_single_design(self, capsys):
+        code = main(["table2", "--designs", "serial_adapter"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out

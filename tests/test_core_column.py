@@ -1,0 +1,178 @@
+"""Tests for single-column reduction (SC_T / SC_LP building block)."""
+
+import pytest
+
+from repro.bitmatrix.addend import Addend
+from repro.core.column import (
+    HA_STYLE_LAST_PAIR,
+    HA_STYLE_PSEUDO_ZERO,
+    reduce_column,
+)
+from repro.core.delay_model import FADelayModel
+from repro.core.policies import EarliestArrivalPolicy, LargestQPolicy
+from repro.core.power_model import FAPowerModel
+from repro.core.sc_lp import sc_lp
+from repro.core.sc_t import sc_t
+from repro.errors import AllocationError
+from repro.netlist.core import Netlist
+
+
+def _column(netlist, arrivals, probabilities=None):
+    probabilities = probabilities or [0.5] * len(arrivals)
+    return [
+        Addend(netlist.add_net(), 0, arrival, probability)
+        for arrival, probability in zip(arrivals, probabilities)
+    ]
+
+
+class TestScT:
+    def test_reduces_to_two(self):
+        netlist = Netlist("t")
+        reduction = sc_t(netlist, _column(netlist, [1, 2, 3, 4, 5, 6]))
+        assert len(reduction.remaining) == 2
+        assert reduction.fa_count + reduction.ha_count == len(reduction.carries)
+
+    def test_fa_ha_accounting_even_column(self):
+        """An even-height column needs no HA (4 -> FA -> 2)."""
+        netlist = Netlist("t")
+        reduction = sc_t(netlist, _column(netlist, [1, 2, 3, 4]))
+        assert reduction.fa_count == 1
+        assert reduction.ha_count == 0
+
+    def test_fa_ha_accounting_odd_column(self):
+        """An odd-height column ends with exactly one HA (paper's SC_T)."""
+        netlist = Netlist("t")
+        reduction = sc_t(netlist, _column(netlist, [1, 2, 3, 4, 5]))
+        assert reduction.fa_count == 1
+        assert reduction.ha_count == 1
+
+    def test_small_columns_untouched(self):
+        netlist = Netlist("t")
+        for height in (0, 1, 2):
+            reduction = sc_t(netlist, _column(netlist, list(range(height))))
+            assert len(reduction.remaining) == height
+            assert reduction.fa_count == reduction.ha_count == 0
+
+    def test_earliest_signals_feed_first_fa(self):
+        netlist = Netlist("t")
+        addends = _column(netlist, [7, 2, 3, 5])
+        reduction = sc_t(netlist, addends, delay_model=FADelayModel(2.0, 1.0))
+        fa = reduction.fa_cells[0]
+        used = {fa.inputs["a"], fa.inputs["b"], fa.inputs["cin"]}
+        assert addends[0].net not in used  # the latest addend (t=7) is spared
+        # sum arrival = max(2,3,5)+2 = 7; carry = 6
+        sums = [a for a in reduction.remaining if a.origin == "sum"]
+        assert sums[0].arrival == pytest.approx(7.0)
+        assert reduction.carries[0].arrival == pytest.approx(6.0)
+
+    def test_carries_target_next_column(self):
+        netlist = Netlist("t")
+        reduction = sc_t(netlist, _column(netlist, [0, 0, 0, 0, 0]), column=3)
+        assert all(carry.column == 4 for carry in reduction.carries)
+        assert all(addend.column == 3 for addend in reduction.remaining)
+
+    def test_switching_energy_accumulates(self):
+        netlist = Netlist("t")
+        reduction = sc_t(
+            netlist,
+            _column(netlist, [0, 0, 0, 0], probabilities=[0.5, 0.5, 0.5, 0.5]),
+            power_model=FAPowerModel(1.0, 1.0),
+        )
+        assert reduction.switching_energy > 0
+
+
+class TestScLp:
+    def test_reduces_to_two_with_pseudo_zero(self):
+        netlist = Netlist("t")
+        reduction = sc_lp(netlist, _column(netlist, [0] * 5, [0.1, 0.2, 0.3, 0.4, 0.5]))
+        assert len(reduction.remaining) == 2
+        assert all(a.origin != "pseudo_zero" for a in reduction.remaining)
+
+    def test_largest_q_selected_first(self):
+        netlist = Netlist("t")
+        addends = _column(netlist, [0] * 4, [0.1, 0.2, 0.3, 0.4])
+        reduction = sc_lp(netlist, addends)
+        fa = reduction.fa_cells[0]
+        used = {fa.inputs["a"], fa.inputs["b"], fa.inputs["cin"]}
+        # p=0.4 has the smallest |q| and must be spared
+        assert addends[3].net not in used
+
+    def test_even_column_uses_only_fas(self):
+        netlist = Netlist("t")
+        reduction = sc_lp(netlist, _column(netlist, [0] * 6, [0.1] * 6))
+        assert reduction.ha_count == 0
+        assert reduction.fa_count == 2
+
+    def test_odd_column_models_ha_with_pseudo_zero(self):
+        netlist = Netlist("t")
+        reduction = sc_lp(netlist, _column(netlist, [0] * 5, [0.1] * 5))
+        # pseudo zero has |q|=0.5 (largest), so the HA appears in the first step
+        assert reduction.ha_count == 1
+        assert reduction.fa_count == 1
+
+
+class TestReduceColumnOptions:
+    def test_unknown_ha_style_rejected(self):
+        netlist = Netlist("t")
+        with pytest.raises(AllocationError):
+            reduce_column(
+                netlist,
+                _column(netlist, [0, 0, 0]),
+                0,
+                EarliestArrivalPolicy(),
+                FADelayModel(),
+                FAPowerModel(),
+                ha_style="bogus",
+            )
+
+    def test_exclude_origins_prefers_non_carry_addends(self):
+        netlist = Netlist("t")
+        addends = _column(netlist, [7, 5, 4])
+        late_carry = Addend(netlist.add_net(), 0, 0.0, 0.5, origin="carry")
+        working = addends + [late_carry]
+        reduction = reduce_column(
+            netlist,
+            working,
+            0,
+            EarliestArrivalPolicy(),
+            FADelayModel(),
+            FAPowerModel(),
+            ha_style=HA_STYLE_LAST_PAIR,
+            exclude_origins=frozenset({"carry"}),
+        )
+        fa = reduction.fa_cells[0]
+        used = {fa.inputs["a"], fa.inputs["b"], fa.inputs["cin"]}
+        # Even though the carry arrives earliest, it is excluded from selection.
+        assert late_carry.net not in used
+
+    def test_exclude_origins_falls_back_when_not_enough(self):
+        netlist = Netlist("t")
+        addends = _column(netlist, [1.0])
+        carries = [
+            Addend(netlist.add_net(), 0, float(i), 0.5, origin="carry") for i in range(3)
+        ]
+        reduction = reduce_column(
+            netlist,
+            addends + carries,
+            0,
+            EarliestArrivalPolicy(),
+            FADelayModel(),
+            FAPowerModel(),
+            ha_style=HA_STYLE_LAST_PAIR,
+            exclude_origins=frozenset({"carry"}),
+        )
+        assert len(reduction.remaining) == 2
+
+    def test_pseudo_zero_style_via_policy(self):
+        netlist = Netlist("t")
+        reduction = reduce_column(
+            netlist,
+            _column(netlist, [0] * 3, [0.2, 0.4, 0.5]),
+            0,
+            LargestQPolicy(),
+            FADelayModel(),
+            FAPowerModel(),
+            ha_style=HA_STYLE_PSEUDO_ZERO,
+        )
+        assert len(reduction.remaining) == 2
+        assert reduction.ha_count == 1

@@ -1,0 +1,106 @@
+"""Tests for the FA delay and power models (Sections 3.1 and 4.1-4.2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.delay_model import FADelayModel
+from repro.core.power_model import (
+    FAPowerModel,
+    fa_output_probabilities,
+    fa_output_q,
+    ha_output_probabilities,
+    switching_activity,
+)
+from repro.tech.default_libs import generic_035, unit_library
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestDelayModel:
+    def test_defaults_match_paper_example(self):
+        model = FADelayModel.paper_example()
+        assert model.sum_delay == 2.0
+        assert model.carry_delay == 1.0
+        assert model.ha_sum_delay == 2.0
+        assert model.ha_carry_delay == 1.0
+
+    def test_arrival_propagation(self):
+        model = FADelayModel(sum_delay=2.0, carry_delay=1.0)
+        assert model.fa_arrivals([3.0, 5.0, 1.0]) == (7.0, 6.0)
+        assert model.ha_arrivals([4.0, 2.0]) == (6.0, 5.0)
+
+    def test_from_library(self):
+        model = FADelayModel.from_library(generic_035())
+        assert model.sum_delay > model.carry_delay > 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FADelayModel(sum_delay=-1.0)
+
+    def test_explicit_ha_delays(self):
+        model = FADelayModel(2.0, 1.0, ha_sum_delay=0.5, ha_carry_delay=0.25)
+        assert model.ha_arrivals([1.0, 0.0]) == (1.5, 1.25)
+
+
+def _exact_fa_probabilities(px, py, pz):
+    """Brute-force FA output probabilities over the 8 input combinations."""
+    p_sum = p_carry = 0.0
+    for a, b, c in itertools.product((0, 1), repeat=3):
+        weight = (px if a else 1 - px) * (py if b else 1 - py) * (pz if c else 1 - pz)
+        total = a + b + c
+        if total & 1:
+            p_sum += weight
+        if total >= 2:
+            p_carry += weight
+    return p_sum, p_carry
+
+
+class TestPowerModel:
+    @given(probabilities, probabilities, probabilities)
+    def test_fa_probabilities_match_truth_table(self, px, py, pz):
+        ps, pc = fa_output_probabilities(px, py, pz)
+        exact_ps, exact_pc = _exact_fa_probabilities(px, py, pz)
+        assert ps == pytest.approx(exact_ps, abs=1e-9)
+        assert pc == pytest.approx(exact_pc, abs=1e-9)
+
+    @given(probabilities, probabilities, probabilities)
+    def test_q_formulas_match_probabilities(self, px, py, pz):
+        """The paper's closed forms q(s)=4qxqyqz and q(c)=0.5(...)-2qxqyqz are exact."""
+        qs, qc = fa_output_q(px - 0.5, py - 0.5, pz - 0.5)
+        ps, pc = fa_output_probabilities(px, py, pz)
+        assert qs == pytest.approx(ps - 0.5, abs=1e-9)
+        assert qc == pytest.approx(pc - 0.5, abs=1e-9)
+
+    @given(probabilities, probabilities)
+    def test_ha_probabilities(self, px, py):
+        ps, pc = ha_output_probabilities(px, py)
+        assert ps == pytest.approx(px + py - 2 * px * py, abs=1e-9)
+        assert pc == pytest.approx(px * py, abs=1e-9)
+
+    def test_switching_activity(self):
+        assert switching_activity(0.5) == pytest.approx(0.25)
+        assert switching_activity(0.0) == 0.0
+        assert switching_activity(1.0) == 0.0
+
+    def test_switching_energy_weighting(self):
+        model = FAPowerModel(sum_energy=2.0, carry_energy=1.0)
+        energy = model.fa_switching_energy(0.5, 0.5)
+        assert energy == pytest.approx(2.0 * 0.25 + 1.0 * 0.25)
+        ha_energy = model.ha_switching_energy(0.5, 0.25)
+        assert ha_energy == pytest.approx(2.0 * 0.25 + 1.0 * 0.1875)
+
+    def test_paper_example_and_library_extraction(self):
+        model = FAPowerModel.paper_example()
+        assert model.sum_energy == model.carry_energy == 1.0
+        from_library = FAPowerModel.from_library(unit_library())
+        assert from_library.sum_energy == 1.0
+
+    def test_property1_precondition(self):
+        assert FAPowerModel(1.0, 1.0).satisfies_property1_precondition()
+        assert not FAPowerModel(0.01, 1.0).satisfies_property1_precondition()
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            FAPowerModel(sum_energy=-1.0)

@@ -1,0 +1,94 @@
+"""Tests for the addend-selection policies."""
+
+import pytest
+
+from repro.bitmatrix.addend import Addend
+from repro.core.policies import (
+    EarliestArrivalPolicy,
+    LargestQPolicy,
+    RandomPolicy,
+    RowOrderPolicy,
+)
+from repro.errors import AllocationError
+from repro.netlist.core import Netlist
+
+
+def _addends(netlist, specs):
+    """specs: list of (arrival, probability) tuples."""
+    return [
+        Addend(netlist.add_net(), 0, arrival, probability)
+        for arrival, probability in specs
+    ]
+
+
+class TestEarliestArrival:
+    def test_picks_earliest(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(5.0, 0.5), (1.0, 0.5), (3.0, 0.5), (2.0, 0.5)])
+        chosen = EarliestArrivalPolicy().select(addends, 3)
+        assert [a.arrival for a in chosen] == [1.0, 2.0, 3.0]
+
+    def test_tie_break_prefers_larger_q(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(1.0, 0.5), (1.0, 0.9), (1.0, 0.6)])
+        chosen = EarliestArrivalPolicy().select(addends, 1)
+        assert chosen[0].probability == 0.9
+
+    def test_deterministic_final_tie_break(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(1.0, 0.5), (1.0, 0.5)])
+        chosen = EarliestArrivalPolicy().select(addends, 1)
+        assert chosen[0] is addends[0]
+
+
+class TestLargestQ:
+    def test_picks_largest_absolute_q(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(0.0, 0.5), (0.0, 0.1), (0.0, 0.7), (0.0, 0.95)])
+        chosen = LargestQPolicy().select(addends, 2)
+        assert sorted(a.probability for a in chosen) == [0.1, 0.95]
+
+    def test_tie_break_prefers_earlier_arrival(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(5.0, 0.9), (1.0, 0.1)])
+        chosen = LargestQPolicy().select(addends, 1)
+        assert chosen[0].arrival == 1.0
+
+
+class TestRandomAndRowOrder:
+    def test_random_is_reproducible_with_seed(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(i, 0.5) for i in range(10)])
+        first = [a.sequence for a in RandomPolicy(seed=3).select(addends, 3)]
+        second = [a.sequence for a in RandomPolicy(seed=3).select(addends, 3)]
+        assert first == second
+
+    def test_random_selects_distinct_addends(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(i, 0.5) for i in range(6)])
+        chosen = RandomPolicy(seed=1).select(addends, 3)
+        assert len({a.sequence for a in chosen}) == 3
+
+    def test_row_order_uses_creation_order(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(9.0, 0.5), (1.0, 0.5), (4.0, 0.5)])
+        chosen = RowOrderPolicy().select(addends, 2)
+        assert chosen == [addends[0], addends[1]]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "policy",
+        [EarliestArrivalPolicy(), LargestQPolicy(), RandomPolicy(seed=0), RowOrderPolicy()],
+    )
+    def test_not_enough_candidates(self, policy):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(0.0, 0.5)])
+        with pytest.raises(AllocationError):
+            policy.select(addends, 2)
+
+    def test_zero_count_rejected(self):
+        netlist = Netlist("t")
+        addends = _addends(netlist, [(0.0, 0.5)])
+        with pytest.raises(AllocationError):
+            EarliestArrivalPolicy().select(addends, 0)

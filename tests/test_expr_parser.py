@@ -1,0 +1,67 @@
+"""Tests for the expression parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExpressionError
+from repro.expr.parser import parse_expression
+
+
+class TestParsing:
+    def test_simple_sum(self):
+        assert parse_expression("x + y").evaluate({"x": 2, "y": 3}) == 5
+
+    def test_precedence(self):
+        assert parse_expression("2 + 3 * 4").evaluate({}) == 14
+        assert parse_expression("(2 + 3) * 4").evaluate({}) == 20
+
+    def test_left_associative_subtraction(self):
+        assert parse_expression("10 - 3 - 2").evaluate({}) == 5
+
+    def test_unary_minus(self):
+        assert parse_expression("-x + 5").evaluate({"x": 2}) == 3
+        assert parse_expression("- - x").evaluate({"x": 2}) == 2
+        assert parse_expression("+x").evaluate({"x": 2}) == 2
+
+    def test_power_operator(self):
+        assert parse_expression("x^2 + x + y").evaluate({"x": 3, "y": 4}) == 16
+        assert parse_expression("x**3").evaluate({"x": 2}) == 8
+
+    def test_paper_expressions(self):
+        square = parse_expression("x*x + 2*x*y + y*y + 2*x + 2*y + 1")
+        assert square.evaluate({"x": 5, "y": 7}) == (5 + 7 + 1) ** 2
+        mixed = parse_expression("x + y - z + x*y - y*z + 10")
+        assert mixed.evaluate({"x": 1, "y": 2, "z": 3}) == 1 + 2 - 3 + 2 - 6 + 10
+
+    def test_variable_names_with_digits_and_underscores(self):
+        expr = parse_expression("acc_1 + x2*x2")
+        assert expr.variables() == ["acc_1", "x2"]
+
+    def test_whitespace_insensitive(self):
+        assert parse_expression("  x   +y ").evaluate({"x": 1, "y": 2}) == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "   ", "x +", "* x", "x + (y", "x + y)", "x ^ y", "x ^", "x $ y", "x y"],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(ExpressionError):
+            parse_expression(text)
+
+    def test_zero_exponent_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("x^0")
+
+
+@given(
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+)
+def test_parser_matches_python_semantics(a, b, c):
+    """The parsed expression evaluates exactly like the Python expression."""
+    text = "a*b + b*c - c + 7 - a"
+    expr = parse_expression(text)
+    assert expr.evaluate({"a": a, "b": b, "c": c}) == a * b + b * c - c + 7 - a

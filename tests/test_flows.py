@@ -1,0 +1,136 @@
+"""Tests for the end-to-end synthesis flow and the comparison harness."""
+
+import pytest
+
+from repro.designs.registry import get_design
+from repro.errors import DesignError
+from repro.flows.compare import ComparisonRow, compare_methods, comparison_table, improvement_pct
+from repro.flows.synthesis import MATRIX_METHODS, SYNTHESIS_METHODS, synthesize
+from repro.sim.equivalence import check_equivalence
+
+
+class TestSynthesize:
+    @pytest.mark.parametrize("method", sorted(SYNTHESIS_METHODS))
+    def test_every_method_is_functionally_correct(self, small_design, method):
+        result = synthesize(small_design, method=method, seed=7)
+        report = check_equivalence(
+            result.netlist,
+            result.output_bus,
+            small_design.expression,
+            small_design.signals,
+            output_width=small_design.output_width,
+        )
+        assert report.exhaustive
+        report.assert_ok()
+
+    @pytest.mark.parametrize("method", sorted(SYNTHESIS_METHODS))
+    def test_every_method_on_subtraction_design(self, subtract_design, method):
+        result = synthesize(subtract_design, method=method, seed=3)
+        check_equivalence(
+            result.netlist,
+            result.output_bus,
+            subtract_design.expression,
+            subtract_design.signals,
+            output_width=subtract_design.output_width,
+        ).assert_ok()
+
+    def test_result_fields_populated(self, small_design):
+        result = synthesize(small_design, method="fa_aot")
+        assert result.delay_ns > 0
+        assert result.area > 0
+        assert result.total_energy > 0
+        assert result.tree_energy > 0
+        assert result.cell_count == len(result.netlist.cells)
+        assert result.fa_count > 0
+        assert result.output_bus.width == small_design.output_width
+        assert result.compression is not None
+        assert result.matrix_build is not None
+        assert result.library_name == "generic_035"
+        assert "delay=" in result.summary()
+
+    def test_conventional_result_fields(self, small_design):
+        result = synthesize(small_design, method="conventional")
+        assert result.compression is None
+        assert result.matrix_build is None
+        assert result.delay_ns > 0
+
+    @pytest.mark.parametrize("final_adder", ["ripple", "cla", "carry_select", "kogge_stone"])
+    def test_final_adder_choices(self, small_design, final_adder):
+        result = synthesize(small_design, method="fa_aot", final_adder=final_adder)
+        check_equivalence(
+            result.netlist,
+            result.output_bus,
+            small_design.expression,
+            small_design.signals,
+            output_width=small_design.output_width,
+        ).assert_ok()
+        assert result.final_adder == final_adder
+
+    def test_unknown_method_rejected(self, small_design):
+        with pytest.raises(DesignError):
+            synthesize(small_design, method="magic")
+
+    def test_unknown_final_adder_rejected(self, small_design):
+        with pytest.raises(DesignError):
+            synthesize(small_design, final_adder="magic")
+
+    def test_csd_option(self, small_design):
+        result = synthesize(small_design, method="fa_aot", use_csd_coefficients=True)
+        check_equivalence(
+            result.netlist,
+            result.output_bus,
+            small_design.expression,
+            small_design.signals,
+            output_width=small_design.output_width,
+        ).assert_ok()
+
+    def test_unit_library(self, small_design, unit_lib):
+        result = synthesize(small_design, method="fa_aot", library=unit_lib)
+        assert result.library_name == "unit"
+
+    def test_fa_aot_not_slower_than_arrival_blind_methods(self, small_design):
+        aot = synthesize(small_design, method="fa_aot")
+        for method in ("wallace", "csa_opt", "conventional"):
+            other = synthesize(small_design, method=method)
+            assert aot.delay_ns <= other.delay_ns + 1e-9
+
+    def test_fa_alp_not_worse_than_random_on_tree_energy(self):
+        from repro.designs.registry import with_random_probabilities
+
+        design = with_random_probabilities(get_design("x2_plus_x_plus_y"), seed=5)
+        alp = synthesize(design, method="fa_alp")
+        random_result = synthesize(design, method="fa_random", seed=5)
+        assert alp.tree_energy <= random_result.tree_energy * 1.02
+
+
+class TestCompare:
+    def test_compare_methods_collects_results(self, small_design):
+        row = compare_methods(small_design, ["fa_aot", "wallace"])
+        assert isinstance(row, ComparisonRow)
+        assert set(row.results) == {"fa_aot", "wallace"}
+        assert row.delay("fa_aot") <= row.delay("wallace") + 1e-9
+        assert row.area("fa_aot") > 0
+        assert row.tree_energy("wallace") > 0
+
+    def test_improvements(self, small_design):
+        row = compare_methods(small_design, ["fa_aot", "wallace"])
+        improvement = row.delay_improvement("wallace", "fa_aot")
+        assert improvement >= -1e-9
+        assert improvement_pct(10.0, 7.5) == pytest.approx(25.0)
+        assert improvement_pct(0.0, 1.0) == 0.0
+        assert row.area_improvement("wallace", "fa_aot") == pytest.approx(
+            improvement_pct(row.area("wallace"), row.area("fa_aot"))
+        )
+        assert row.energy_improvement("wallace", "fa_aot") == pytest.approx(
+            improvement_pct(row.tree_energy("wallace"), row.tree_energy("fa_aot"))
+        )
+
+    def test_comparison_table_renders(self, small_design):
+        row = compare_methods(small_design, ["fa_aot", "wallace"])
+        text = comparison_table([row], ["fa_aot", "wallace"], metric="delay_ns", title="demo")
+        assert "demo" in text
+        assert "fa_aot" in text and "wallace" in text
+
+    def test_matrix_methods_subset(self):
+        assert set(MATRIX_METHODS) < set(SYNTHESIS_METHODS)
+        assert "conventional" in SYNTHESIS_METHODS

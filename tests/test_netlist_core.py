@@ -1,0 +1,152 @@
+"""Tests for the netlist data structures."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType
+from repro.netlist.core import Bus, Netlist
+
+
+class TestNets:
+    def test_add_input(self):
+        netlist = Netlist("t")
+        net = netlist.add_input("a")
+        assert net.is_primary_input
+        assert not net.is_constant
+        assert netlist.primary_inputs == [net]
+
+    def test_duplicate_net_name_rejected(self):
+        netlist = Netlist("t")
+        netlist.add_net("n1")
+        with pytest.raises(NetlistError):
+            netlist.add_net("n1")
+
+    def test_constants_are_shared(self):
+        netlist = Netlist("t")
+        assert netlist.const(0) is netlist.const(0)
+        assert netlist.const(1) is netlist.const(1)
+        assert netlist.const(0) is not netlist.const(1)
+        assert netlist.const(1).const_value == 1
+
+    def test_bad_constant_rejected(self):
+        netlist = Netlist("t")
+        with pytest.raises(NetlistError):
+            netlist.const(2)
+
+    def test_generated_names_unique(self):
+        netlist = Netlist("t")
+        names = {netlist.add_net().name for _ in range(50)}
+        assert len(names) == 50
+
+
+class TestBuses:
+    def test_add_input_bus(self):
+        netlist = Netlist("t")
+        bus = netlist.add_input_bus("x", 4)
+        assert bus.width == 4
+        assert [n.name for n in bus] == ["x[0]", "x[1]", "x[2]", "x[3]"]
+        assert netlist.input_buses["x"] is bus
+
+    def test_duplicate_bus_rejected(self):
+        netlist = Netlist("t")
+        netlist.add_input_bus("x", 2)
+        with pytest.raises(NetlistError):
+            netlist.add_input_bus("x", 2)
+
+    def test_zero_width_rejected(self):
+        netlist = Netlist("t")
+        with pytest.raises(NetlistError):
+            netlist.add_input_bus("x", 0)
+
+    def test_bus_indexing(self):
+        netlist = Netlist("t")
+        bus = netlist.add_input_bus("x", 3)
+        assert bus[1].name == "x[1]"
+        assert len(bus) == 3
+
+
+class TestCells:
+    def test_add_cell_creates_outputs_and_links(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        cell = netlist.add_cell(CellType.AND2, {"a": a, "b": b})
+        assert cell.outputs["y"].driver == (cell, "y")
+        assert (cell, "a") in a.loads
+        assert (cell, "b") in b.loads
+        assert netlist.num_cells() == 1
+
+    def test_missing_port_rejected(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_cell(CellType.AND2, {"a": a})
+
+    def test_unexpected_port_rejected(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        with pytest.raises(NetlistError):
+            netlist.add_cell(CellType.NOT, {"a": a, "b": b})
+
+    def test_foreign_net_rejected(self):
+        netlist = Netlist("t")
+        other = Netlist("other")
+        foreign = other.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_cell(CellType.NOT, {"a": foreign})
+
+    def test_duplicate_cell_name_rejected(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        netlist.add_cell(CellType.NOT, {"a": a}, name="inv")
+        with pytest.raises(NetlistError):
+            netlist.add_cell(CellType.NOT, {"a": a}, name="inv")
+
+    def test_cells_of_type(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.add_cell(CellType.AND2, {"a": a, "b": b})
+        netlist.add_cell(CellType.NOT, {"a": a})
+        assert len(netlist.cells_of_type(CellType.AND2)) == 1
+        assert len(netlist.cells_of_type(CellType.NOT)) == 1
+        assert len(netlist.cells_of_type(CellType.FA)) == 0
+
+
+class TestOutputsAndTraversal:
+    def test_set_output_idempotent(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        netlist.set_output(a)
+        netlist.set_output(a)
+        assert netlist.primary_outputs == [a]
+
+    def test_set_output_bus(self):
+        netlist = Netlist("t")
+        bus = netlist.add_input_bus("x", 2)
+        registered = netlist.set_output_bus(Bus("f", bus.nets))
+        assert registered.width == 2
+        assert "f" in netlist.output_buses
+        assert len(netlist.primary_outputs) == 2
+
+    def test_topological_order_respects_dependencies(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        first = netlist.add_cell(CellType.AND2, {"a": a, "b": b})
+        second = netlist.add_cell(CellType.NOT, {"a": first.outputs["y"]})
+        third = netlist.add_cell(CellType.OR2, {"a": second.outputs["y"], "b": a})
+        order = [cell.name for cell in netlist.topological_cells()]
+        assert order.index(first.name) < order.index(second.name) < order.index(third.name)
+
+    def test_transitive_fanin(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        first = netlist.add_cell(CellType.AND2, {"a": a, "b": b})
+        second = netlist.add_cell(CellType.NOT, {"a": first.outputs["y"]})
+        unrelated = netlist.add_cell(CellType.NOT, {"a": b})
+        cone = {cell.name for cell in netlist.transitive_fanin([second.outputs["y"]])}
+        assert first.name in cone and second.name in cone
+        assert unrelated.name not in cone

@@ -1,0 +1,119 @@
+"""Tests for the functional simulator, vector generators and toggle counting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.expr.signals import SignalSpec
+from repro.netlist.cells import CellType
+from repro.netlist.core import Bus, Netlist
+from repro.sim.evaluator import bus_value, evaluate_netlist, set_bus_value
+from repro.sim.toggles import empirical_switching
+from repro.sim.vectors import exhaustive_vectors, random_vectors, total_input_width
+
+
+def _adder_bit():
+    netlist = Netlist("bit")
+    a = netlist.add_input_bus("a", 2)
+    b = netlist.add_input_bus("b", 2)
+    fa = netlist.add_cell(CellType.FA, {"a": a[0], "b": b[0], "cin": netlist.const(0)})
+    netlist.set_output(fa.outputs["s"])
+    return netlist, fa
+
+
+class TestEvaluator:
+    def test_bus_inputs_and_outputs(self):
+        netlist, fa = _adder_bit()
+        values = evaluate_netlist(netlist, {"a": 3, "b": 1})
+        assert values["a[0]"] == 1 and values["a[1]"] == 1
+        assert values[fa.outputs["s"].name] == 0
+        assert values[fa.outputs["co"].name] == 1
+
+    def test_negative_bus_value_wraps(self):
+        netlist, _ = _adder_bit()
+        values = evaluate_netlist(netlist, {"a": -1, "b": 0})
+        assert values["a[0]"] == 1 and values["a[1]"] == 1
+
+    def test_per_net_inputs(self):
+        netlist, fa = _adder_bit()
+        values = evaluate_netlist(netlist, {"a": 0, "b": 0, "a[0]": 1})
+        assert values[fa.outputs["s"].name] == 1
+
+    def test_missing_inputs_rejected(self):
+        netlist, _ = _adder_bit()
+        with pytest.raises(SimulationError):
+            evaluate_netlist(netlist, {"a": 1})
+
+    def test_unknown_input_rejected(self):
+        netlist, _ = _adder_bit()
+        with pytest.raises(SimulationError):
+            evaluate_netlist(netlist, {"a": 1, "b": 0, "c": 1})
+
+    def test_non_bit_value_rejected(self):
+        netlist, _ = _adder_bit()
+        with pytest.raises(SimulationError):
+            evaluate_netlist(netlist, {"a": 1, "b": 0, "a[0]": 5})
+
+    def test_bus_value_roundtrip(self):
+        netlist = Netlist("bus")
+        bus = netlist.add_input_bus("x", 5)
+        values = {}
+        set_bus_value(values, bus, 19)
+        assert bus_value(values, bus) == 19
+        set_bus_value(values, bus, -1)
+        assert bus_value(values, bus) == 31
+
+    def test_bus_value_missing_net(self):
+        netlist = Netlist("bus")
+        bus = netlist.add_input_bus("x", 2)
+        with pytest.raises(SimulationError):
+            bus_value({}, Bus("x", bus.nets))
+
+
+class TestVectors:
+    def test_random_vectors_in_range(self):
+        signals = {"x": SignalSpec("x", 4), "y": SignalSpec("y", 2)}
+        vectors = random_vectors(signals, 20, seed=1)
+        assert len(vectors) == 20
+        assert all(0 <= v["x"] < 16 and 0 <= v["y"] < 4 for v in vectors)
+
+    def test_random_vectors_reproducible(self):
+        signals = {"x": SignalSpec("x", 8)}
+        assert random_vectors(signals, 5, seed=3) == random_vectors(signals, 5, seed=3)
+
+    def test_probability_weighted_vectors(self):
+        signals = {"x": SignalSpec("x", 1, probability=1.0), "y": SignalSpec("y", 1, probability=0.0)}
+        vectors = random_vectors(signals, 10, seed=0, respect_probabilities=True)
+        assert all(v["x"] == 1 and v["y"] == 0 for v in vectors)
+
+    def test_exhaustive_vectors(self):
+        signals = {"x": SignalSpec("x", 2), "y": SignalSpec("y", 1)}
+        vectors = list(exhaustive_vectors(signals))
+        assert len(vectors) == 8
+        assert {(v["x"], v["y"]) for v in vectors} == {(x, y) for x in range(4) for y in range(2)}
+
+    def test_total_input_width(self):
+        signals = {"x": SignalSpec("x", 2), "y": SignalSpec("y", 3)}
+        assert total_input_width(signals) == 5
+
+
+class TestToggleCounting:
+    def test_constant_input_never_toggles(self):
+        netlist = Netlist("t")
+        bus = netlist.add_input_bus("x", 1)
+        inv = netlist.add_cell(CellType.NOT, {"a": bus[0]})
+        netlist.set_output(inv.outputs["y"])
+        signals = {"x": SignalSpec("x", 1, probability=1.0)}
+        stats = empirical_switching(netlist, signals, vector_count=50, seed=2)
+        assert stats.rate_of("x[0]") == 0.0
+        assert stats.probability_of("x[0]") == 1.0
+        assert stats.probability_of(inv.outputs["y"].name) == 0.0
+
+    def test_toggle_rate_approximates_2p_1_minus_p(self):
+        netlist = Netlist("t")
+        bus = netlist.add_input_bus("x", 1)
+        buf = netlist.add_cell(CellType.BUF, {"a": bus[0]})
+        netlist.set_output(buf.outputs["y"])
+        signals = {"x": SignalSpec("x", 1, probability=0.5)}
+        stats = empirical_switching(netlist, signals, vector_count=800, seed=4)
+        assert stats.vectors_simulated == 800
+        assert stats.rate_of(buf.outputs["y"].name) == pytest.approx(0.5, abs=0.1)

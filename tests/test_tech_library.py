@@ -1,0 +1,92 @@
+"""Tests for the technology library model."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.netlist.cells import CellType
+from repro.tech.default_libs import generic_035, scaled_library, unit_library
+from repro.tech.library import CellSpec, TechLibrary
+
+
+class TestDefaultLibraries:
+    def test_generic_has_all_cells(self):
+        library = generic_035()
+        for cell_type in CellType:
+            assert library.has_cell(cell_type)
+            assert library.area(cell_type) > 0
+
+    def test_fa_sum_slower_than_carry(self):
+        library = generic_035()
+        assert library.worst_delay(CellType.FA, "s") > library.worst_delay(CellType.FA, "co")
+
+    def test_fa_delay_model_extraction(self):
+        parameters = generic_035().fa_delay_model()
+        assert parameters.sum_delay > parameters.carry_delay > 0
+        assert parameters.ha_sum_delay > 0
+
+    def test_fa_power_model_extraction(self):
+        parameters = generic_035().fa_power_model()
+        assert parameters.sum_energy > 0
+        assert parameters.carry_energy > 0
+
+    def test_unit_library_matches_paper_example(self):
+        library = unit_library()
+        assert library.worst_delay(CellType.FA, "s") == 2.0
+        assert library.worst_delay(CellType.FA, "co") == 1.0
+        assert library.energy(CellType.FA, "s") == 1.0
+        assert library.energy(CellType.FA, "co") == 1.0
+
+    def test_scaled_library_overrides_fa_only(self):
+        base = generic_035()
+        scaled = scaled_library(1.0, 0.5, base=base)
+        assert scaled.worst_delay(CellType.FA, "s") == 1.0
+        assert scaled.worst_delay(CellType.FA, "co") == 0.5
+        assert scaled.area(CellType.AND2) == base.area(CellType.AND2)
+        assert scaled.delay(CellType.XOR2, "a", "y") == base.delay(CellType.XOR2, "a", "y")
+
+
+class TestLibraryAccess:
+    def test_missing_cell_raises(self):
+        library = TechLibrary("tiny", {})
+        with pytest.raises(LibraryError):
+            library.area(CellType.FA)
+
+    def test_missing_energy_raises(self):
+        spec = CellSpec(CellType.NOT, area=1.0, delays={("a", "y"): 0.1}, output_energy={})
+        library = TechLibrary("tiny", {CellType.NOT: spec})
+        with pytest.raises(LibraryError):
+            library.energy(CellType.NOT, "y")
+
+    def test_missing_arc_falls_back_to_worst(self):
+        spec = CellSpec(
+            CellType.FA,
+            area=1.0,
+            delays={("a", "s"): 0.5, ("b", "s"): 0.7, ("a", "co"): 0.2},
+            output_energy={"s": 1.0, "co": 1.0},
+        )
+        library = TechLibrary("partial", {CellType.FA: spec})
+        # arc (cin, s) is unspecified: falls back to the worst arc into s
+        assert library.delay(CellType.FA, "cin", "s") == 0.7
+
+    def test_no_arcs_into_output_raises(self):
+        spec = CellSpec(CellType.HA, area=1.0, delays={("a", "s"): 0.3}, output_energy={"s": 1, "co": 1})
+        library = TechLibrary("partial", {CellType.HA: spec})
+        with pytest.raises(LibraryError):
+            library.delay(CellType.HA, "a", "co")
+
+    def test_bad_arc_ports_rejected(self):
+        with pytest.raises(LibraryError):
+            CellSpec(
+                CellType.NOT, area=1.0, delays={("z", "y"): 0.1}, output_energy={"y": 1.0}
+            ).validate()
+
+    def test_bad_energy_port_rejected(self):
+        with pytest.raises(LibraryError):
+            CellSpec(
+                CellType.NOT, area=1.0, delays={("a", "y"): 0.1}, output_energy={"q": 1.0}
+            ).validate()
+
+    def test_property1_precondition_holds_for_default_library(self):
+        from repro.core.power_model import FAPowerModel
+
+        assert FAPowerModel.from_library(generic_035()).satisfies_property1_precondition()

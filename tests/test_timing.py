@@ -1,0 +1,126 @@
+"""Tests for static timing analysis and critical-path extraction."""
+
+import pytest
+
+from repro.adders.factory import build_final_adder
+from repro.bitmatrix.builder import build_addend_matrix
+from repro.core.delay_model import FADelayModel
+from repro.core.fa_aot import fa_aot
+from repro.errors import NetlistError
+from repro.expr.parser import parse_expression
+from repro.expr.signals import SignalSpec
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+from repro.timing.arrival import compute_arrival_times
+from repro.timing.critical_path import extract_critical_path
+from repro.timing.report import timing_report
+
+
+def _chain_netlist():
+    """a -> NOT -> AND(b) -> XOR(c) chain with known delays."""
+    netlist = Netlist("chain")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")
+    inv = netlist.add_cell(CellType.NOT, {"a": a})
+    gate = netlist.add_cell(CellType.AND2, {"a": inv.outputs["y"], "b": b})
+    xor = netlist.add_cell(CellType.XOR2, {"a": gate.outputs["y"], "b": c})
+    netlist.set_output(xor.outputs["y"])
+    return netlist, xor.outputs["y"]
+
+
+class TestArrivalPropagation:
+    def test_chain_delay(self, unit_lib):
+        netlist, out = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib)
+        # three unit-delay gates in a chain
+        assert timing.arrival_of(out) == pytest.approx(3.0)
+        assert timing.delay == pytest.approx(3.0)
+
+    def test_explicit_input_arrivals(self, unit_lib):
+        netlist, out = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib, input_arrivals={"c": 10.0})
+        assert timing.arrival_of(out) == pytest.approx(11.0)
+
+    def test_attribute_arrivals_used(self, unit_lib):
+        netlist, out = _chain_netlist()
+        netlist.nets["a"].attributes["arrival"] = 5.0
+        timing = compute_arrival_times(netlist, unit_lib)
+        assert timing.arrival_of(out) == pytest.approx(8.0)
+        disabled = compute_arrival_times(netlist, unit_lib, use_net_attributes=False)
+        assert disabled.arrival_of(out) == pytest.approx(3.0)
+
+    def test_unknown_net_in_arrivals_rejected(self, unit_lib):
+        netlist, _ = _chain_netlist()
+        with pytest.raises(NetlistError):
+            compute_arrival_times(netlist, unit_lib, input_arrivals={"nope": 1.0})
+
+    def test_outputs_never_earlier_than_inputs(self, library, x2_design):
+        build = build_addend_matrix(
+            x2_design.expression, x2_design.signals, x2_design.output_width, library=library
+        )
+        result = fa_aot(build.netlist, build.matrix)
+        rows = [[a.net if a else None for a in row] for row in result.rows]
+        bus = build_final_adder(build.netlist, rows[0], rows[1], x2_design.output_width)
+        build.netlist.set_output_bus(bus)
+        timing = compute_arrival_times(build.netlist, library)
+        worst_input = max(timing.arrivals[n.name] for n in build.netlist.primary_inputs)
+        assert timing.delay >= worst_input
+
+    def test_arrival_missing_net_raises(self, unit_lib):
+        netlist, _ = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib)
+        with pytest.raises(NetlistError):
+            timing.arrival_of("missing_net")
+
+
+class TestAllocationModelAgreement:
+    def test_sta_matches_allocation_arrivals_for_fa_tree(self, unit_lib):
+        """On an FA/HA-only structure the STA and the Ds/Dc allocation model agree."""
+        expression = parse_expression("x + y + z + w")
+        signals = {
+            name: SignalSpec(name, 3, arrival=[0.0, 1.0, 2.0]) for name in ("x", "y", "z", "w")
+        }
+        build = build_addend_matrix(expression, signals, 5, library=unit_lib)
+        result = fa_aot(
+            build.netlist, build.matrix, FADelayModel.from_library(unit_lib)
+        )
+        timing = compute_arrival_times(build.netlist, unit_lib)
+        for addend in result.final_addends():
+            assert timing.arrivals[addend.net.name] == pytest.approx(addend.arrival)
+
+
+class TestCriticalPath:
+    def test_path_is_connected_and_ends_at_worst_output(self, unit_lib):
+        netlist, out = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib)
+        path = extract_critical_path(netlist, unit_lib, timing)
+        assert path[-1].net_name == out.name
+        assert path[0].cell_name is None  # starts at a primary input
+        arrivals = [step.arrival for step in path]
+        assert arrivals == sorted(arrivals)
+
+    def test_path_length_matches_depth(self, unit_lib):
+        netlist, _ = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib)
+        path = extract_critical_path(netlist, unit_lib, timing)
+        assert len(path) == 4  # input + three gates
+
+    def test_explicit_target(self, unit_lib):
+        netlist, _ = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib)
+        path = extract_critical_path(netlist, unit_lib, timing, target="a")
+        assert len(path) == 1
+
+    def test_unknown_target_rejected(self, unit_lib):
+        netlist, _ = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib)
+        with pytest.raises(NetlistError):
+            extract_critical_path(netlist, unit_lib, timing, target="missing")
+
+    def test_report_renders(self, unit_lib):
+        netlist, _ = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib)
+        text = timing_report(netlist, unit_lib, timing)
+        assert "design delay" in text
+        assert "critical path" in text

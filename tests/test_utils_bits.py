@@ -1,0 +1,111 @@
+"""Tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_length,
+    bits_of,
+    columns_of_constant,
+    csd_digits,
+    from_twos_complement,
+    signed_value,
+    to_twos_complement,
+)
+
+
+class TestBitLength:
+    def test_zero_has_length_one(self):
+        assert bit_length(0) == 1
+
+    def test_powers_of_two(self):
+        assert bit_length(1) == 1
+        assert bit_length(2) == 2
+        assert bit_length(255) == 8
+        assert bit_length(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length(-1)
+
+
+class TestBitsOf:
+    def test_simple(self):
+        assert bits_of(6, 4) == [0, 1, 1, 0]
+
+    def test_truncates_to_width(self):
+        assert bits_of(255, 4) == [1, 1, 1, 1]
+
+    def test_zero_width(self):
+        assert bits_of(5, 0) == []
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits_of(5, -1)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=40))
+    def test_roundtrip(self, value, width):
+        bits = bits_of(value, width)
+        assert sum(b << i for i, b in enumerate(bits)) == value % (1 << width)
+
+
+class TestColumnsOfConstant:
+    def test_positive(self):
+        assert columns_of_constant(10, 8) == [1, 3]
+
+    def test_negative_wraps(self):
+        assert columns_of_constant(-1, 4) == [0, 1, 2, 3]
+
+    def test_zero(self):
+        assert columns_of_constant(0, 8) == []
+
+    def test_zero_width(self):
+        assert columns_of_constant(7, 0) == []
+
+
+class TestTwosComplement:
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_roundtrip_16_bits(self, value):
+        encoded = to_twos_complement(value, 16)
+        assert 0 <= encoded < 2**16
+        assert from_twos_complement(encoded, 16) == value
+
+    def test_signed_value(self):
+        assert signed_value([1, 1, 1, 1]) == -1
+        assert signed_value([0, 1, 0, 0]) == 2
+        assert signed_value([]) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            to_twos_complement(3, 0)
+        with pytest.raises(ValueError):
+            from_twos_complement(3, 0)
+
+
+class TestCsd:
+    def test_seven(self):
+        assert csd_digits(7) == [-1, 0, 0, 1]
+
+    def test_zero(self):
+        assert csd_digits(0) == [0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            csd_digits(-3)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_value_preserved(self, value):
+        digits = csd_digits(value)
+        assert sum(d * (1 << i) for i, d in enumerate(digits)) == value
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_non_adjacent_form(self, value):
+        digits = csd_digits(value)
+        for first, second in zip(digits, digits[1:]):
+            assert not (first != 0 and second != 0)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_no_more_nonzeros_than_binary(self, value):
+        binary_ones = bin(value).count("1")
+        csd_nonzeros = sum(1 for d in csd_digits(value) if d)
+        assert csd_nonzeros <= binary_ones

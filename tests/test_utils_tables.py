@@ -1,0 +1,53 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_float
+
+
+class TestFormatFloat:
+    def test_basic(self):
+        assert format_float(3.14159, 2) == "3.14"
+
+    def test_negative_zero_normalized(self):
+        assert format_float(-0.0001, 2) == "0.00"
+
+    def test_digits(self):
+        assert format_float(1.5, 0) == "2"
+
+
+class TestTextTable:
+    def test_render_contains_headers_and_rows(self):
+        table = TextTable(["design", "delay"])
+        table.add_row(["iir", 3.68])
+        table.add_row(["kalman", None])
+        text = table.render()
+        assert "design" in text and "delay" in text
+        assert "iir" in text and "3.68" in text
+        assert "-" in text  # None renders as '-'
+
+    def test_title(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        text = table.render(title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_row_length_mismatch(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_alignment(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["x", 1])
+        table.add_row(["longer_name", 2])
+        lines = table.render().splitlines()
+        # Separator row has the same width as the widest data/header rows.
+        assert len(lines[1]) >= len(lines[0]) - 1
+
+    def test_int_and_str_cells(self):
+        table = TextTable(["k", "v"], float_digits=1)
+        table.add_row([5, "text"])
+        assert "5" in table.render()
+        assert "text" in table.render()
