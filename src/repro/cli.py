@@ -4,16 +4,25 @@ Usage examples::
 
     repro-datapath list-designs
     repro-datapath synth --design iir --method fa_aot --verilog iir.v
+    repro-datapath synth --design iir --json iir.json
     repro-datapath compare --design kalman --methods conventional csa_opt fa_aot
-    repro-datapath table1
+    repro-datapath table1 --jobs 4 --cache-dir .sweep-cache
     repro-datapath table2
+    repro-datapath explore --designs iir kalman --methods fa_aot wallace dadda \\
+        --final-adders cla ripple --jobs 4 --cache-dir .sweep-cache \\
+        --json sweep.json --csv sweep.csv --pareto
+
+``table1`` / ``table2`` and ``explore`` all run on the
+:mod:`repro.explore` sweep engine, so they share the worker pool
+(``--jobs``) and the on-disk result cache (``--cache-dir``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro._version import __version__
 from repro.adders.factory import FINAL_ADDER_KINDS
@@ -24,32 +33,60 @@ from repro.designs.registry import (
     list_designs,
     with_random_probabilities,
 )
+from repro.errors import LibraryError, ReproError
+from repro.explore.engine import PointOutcome, SweepResult, run_sweep
+from repro.explore.io import sweep_report, write_csv, write_json
+from repro.explore.spec import SweepSpec, table1_spec, table2_spec
 from repro.flows.compare import compare_methods
 from repro.flows.synthesis import SYNTHESIS_METHODS, synthesize
 from repro.netlist.verilog import to_verilog
-from repro.report.tables import table1_report, table2_report
-from repro.tech.default_libs import generic_035, unit_library
+from repro.report.tables import table1_from_records, table2_from_records
+from repro.tech.default_libs import LIBRARY_NAMES, resolve_library
 from repro.timing.report import timing_report
 from repro.power.report import power_report
 
 
 def _library(name: str):
-    if name == "generic_035":
-        return generic_035()
-    if name == "unit":
-        return unit_library()
-    raise SystemExit(f"unknown library {name!r} (choices: generic_035, unit)")
+    try:
+        return resolve_library(name)
+    except LibraryError as exc:
+        raise SystemExit(str(exc))
+
+
+def _write_json_payload(payload: object, target: str) -> None:
+    """Write a JSON payload to a file, or to stdout when the target is '-'."""
+    text = json.dumps(payload, indent=2)
+    if target == "-":
+        print(text)
+    else:
+        try:
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write JSON to {target}: {exc}")
+        print(f"wrote JSON to {target}")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--library", default="generic_035", help="technology library (generic_035 or unit)"
+        "--library",
+        default="generic_035",
+        help=f"technology library ({' or '.join(LIBRARY_NAMES)})",
     )
     parser.add_argument(
         "--final-adder",
         default="cla",
         choices=FINAL_ADDER_KINDS,
         help="final carry-propagate adder architecture",
+    )
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep (1 = serial)"
+    )
+    parser.add_argument(
+        "--cache-dir", help="directory for the on-disk result cache (default: no cache)"
     )
 
 
@@ -63,17 +100,18 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     design = get_design(args.design)
     if args.random_probabilities:
         design = with_random_probabilities(design, seed=args.seed)
+    library = _library(args.library)
     result = synthesize(
         design,
         method=args.method,
-        library=_library(args.library),
+        library=library,
         final_adder=args.final_adder,
         seed=args.seed,
     )
     print(result.summary())
     if args.timing:
         print()
-        print(timing_report(result.netlist, _library(args.library), result.timing))
+        print(timing_report(result.netlist, library, result.timing))
     if args.power:
         print()
         print(power_report(result.netlist, result.power))
@@ -81,6 +119,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         with open(args.verilog, "w", encoding="utf-8") as handle:
             handle.write(to_verilog(result.netlist, module_name=f"{design.name}_{args.method}"))
         print(f"wrote Verilog netlist to {args.verilog}")
+    if args.json:
+        _write_json_payload(result.to_dict(), args.json)
     return 0
 
 
@@ -95,44 +135,90 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     for method in args.methods:
         print(row.results[method].summary())
+    if args.json:
+        payload = {
+            "design": design.name,
+            "results": [row.results[method].to_dict() for method in args.methods],
+        }
+        _write_json_payload(payload, args.json)
     return 0
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    rows = []
-    names = args.designs or TABLE1_DESIGN_NAMES
-    for name in names:
-        design = get_design(name)
-        rows.append(
-            compare_methods(
-                design,
-                ["conventional", "csa_opt", "fa_aot"],
-                library=_library(args.library),
-                final_adder=args.final_adder,
-            )
+def _run_table_sweep(spec: SweepSpec, args: argparse.Namespace) -> SweepResult:
+    """Run a paper-table preset sweep, mirroring the legacy progress lines."""
+    announced = set()
+
+    def progress(outcome: PointOutcome, _done: int, _total: int) -> None:
+        name = outcome.point.design
+        if name not in announced and outcome.ok:
+            announced.add(name)
+            verb = "cached" if outcome.cached else "synthesized"
+            print(f"  {verb} {name}", file=sys.stderr)
+
+    try:
+        sweep = run_sweep(
+            spec, jobs=args.jobs, cache=args.cache_dir, progress=progress
         )
-        print(f"  synthesized {name}", file=sys.stderr)
-    print(table1_report(rows))
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if not sweep.ok:
+        for outcome in sweep.failures:
+            print(f"  FAILED {outcome.point.label()}: {outcome.error}", file=sys.stderr)
+        raise SystemExit(f"{len(sweep.failures)} sweep point(s) failed")
+    return sweep
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    names = args.designs or TABLE1_DESIGN_NAMES
+    spec = table1_spec(names, library=args.library, final_adder=args.final_adder)
+    sweep = _run_table_sweep(spec, args)
+    print(table1_from_records(sweep.records, [get_design(name) for name in names]))
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    rows = []
     names = args.designs or TABLE2_DESIGN_NAMES
-    for name in names:
-        design = with_random_probabilities(get_design(name), seed=args.seed)
-        rows.append(
-            compare_methods(
-                design,
-                ["fa_random", "fa_alp"],
-                library=_library(args.library),
-                final_adder=args.final_adder,
-                seed=args.seed,
-            )
-        )
-        print(f"  synthesized {name}", file=sys.stderr)
-    print(table2_report(rows))
+    spec = table2_spec(
+        names, seed=args.seed, library=args.library, final_adder=args.final_adder
+    )
+    sweep = _run_table_sweep(spec, args)
+    print(table2_from_records(sweep.records, [get_design(name) for name in names]))
     return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    csd_options: Sequence[bool] = {
+        "off": (False,),
+        "on": (True,),
+        "both": (False, True),
+    }[args.csd]
+    spec = SweepSpec(
+        designs=args.designs or TABLE1_DESIGN_NAMES,
+        methods=tuple(args.methods),
+        final_adders=tuple(args.final_adders),
+        libraries=tuple(args.libraries),
+        multiplication_styles=tuple(args.multiplication_styles),
+        csd_options=csd_options,
+        random_probabilities=args.random_probabilities,
+        seeds=tuple(args.seeds),
+    )
+
+    def progress(outcome: PointOutcome, done: int, total: int) -> None:
+        status = "cached" if outcome.cached else ("FAILED" if not outcome.ok else "ok")
+        print(f"  [{done}/{total}] {outcome.point.label()}: {status}", file=sys.stderr)
+
+    sweep = run_sweep(spec, jobs=args.jobs, cache=args.cache_dir, progress=progress)
+    print(sweep_report(sweep, pareto=args.pareto))
+    try:
+        if args.json:
+            path = write_json(sweep, args.json)
+            print(f"wrote JSON artifact to {path}")
+        if args.csv:
+            path = write_csv(sweep, args.csv)
+            print(f"wrote CSV artifact to {path}")
+    except OSError as exc:
+        raise SystemExit(f"cannot write sweep artifact: {exc}")
+    return 0 if sweep.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--power", action="store_true", help="print a power report")
     synth.add_argument("--verilog", help="write the netlist to this Verilog file")
     synth.add_argument(
+        "--json", help="write the metric summary as JSON to this file ('-' = stdout)"
+    )
+    synth.add_argument(
         "--random-probabilities",
         action="store_true",
         help="randomize input signal probabilities (Table 2 protocol)",
@@ -172,19 +261,69 @@ def build_parser() -> argparse.ArgumentParser:
         choices=SYNTHESIS_METHODS,
     )
     compare.add_argument("--seed", type=int, default=2000)
+    compare.add_argument(
+        "--json", help="write all metric summaries as JSON to this file ('-' = stdout)"
+    )
     _add_common_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--designs", nargs="*", choices=list_designs())
     _add_common_options(table1)
+    _add_sweep_options(table1)
     table1.set_defaults(func=_cmd_table1)
 
     table2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
     table2.add_argument("--designs", nargs="*", choices=list_designs())
     table2.add_argument("--seed", type=int, default=2000)
     _add_common_options(table2)
+    _add_sweep_options(table2)
     table2.set_defaults(func=_cmd_table2)
+
+    explore = sub.add_parser(
+        "explore",
+        help="run a design-space sweep (designs x methods x adders x ...)",
+    )
+    explore.add_argument(
+        "--designs", nargs="+", choices=list_designs(),
+        help="designs to sweep (default: the Table 1 design set)",
+    )
+    explore.add_argument(
+        "--methods", nargs="+", default=["conventional", "csa_opt", "fa_aot"],
+        choices=SYNTHESIS_METHODS,
+    )
+    explore.add_argument(
+        "--final-adders", nargs="+", default=["cla"], choices=FINAL_ADDER_KINDS
+    )
+    explore.add_argument(
+        "--libraries", nargs="+", default=["generic_035"], choices=list(LIBRARY_NAMES)
+    )
+    explore.add_argument(
+        "--multiplication-styles", nargs="+", default=["and_array"],
+        choices=["and_array", "booth"],
+    )
+    explore.add_argument(
+        "--csd", default="off", choices=["off", "on", "both"],
+        help="sweep canonical-signed-digit coefficient recoding",
+    )
+    explore.add_argument(
+        "--random-probabilities", action="store_true",
+        help="randomize input signal probabilities (Table 2 protocol)",
+    )
+    explore.add_argument(
+        "--seeds", nargs="+", type=int, default=[2000],
+        help="seeds for fa_random / random probabilities",
+    )
+    explore.add_argument(
+        "--json", help="write the sweep artifact (one record per point) to this file"
+    )
+    explore.add_argument("--csv", help="write one CSV row per point to this file")
+    explore.add_argument(
+        "--pareto", action="store_true",
+        help="print the (delay, area, tree-energy) Pareto front",
+    )
+    _add_sweep_options(explore)
+    explore.set_defaults(func=_cmd_explore)
 
     return parser
 

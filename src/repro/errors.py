@@ -32,3 +32,7 @@ class SimulationError(ReproError):
 
 class DesignError(ReproError):
     """Problem with a benchmark design specification."""
+
+
+class ExplorationError(ReproError):
+    """Problem expanding or executing a design-space exploration sweep."""

@@ -1,0 +1,117 @@
+"""Analysis utilities over sweep metric records.
+
+All functions operate on the plain metric dicts the engine produces
+(``SynthesisResult.to_dict()`` shape) or on anything mapping-like /
+attribute-like with the same field names, so they work equally on cache
+records, JSON artifacts read back from disk and live results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.utils.metrics import improvement_pct
+
+#: the default optimization objectives, all minimized
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("delay_ns", "area", "tree_energy")
+
+
+def field_of(record, name: str):
+    """Read field ``name`` from a dict-like or attribute-like record."""
+    if isinstance(record, Mapping):
+        return record[name]
+    return getattr(record, name)
+
+
+def metric_of(record, name: str) -> float:
+    """Read metric ``name`` from a record as a float."""
+    return float(field_of(record, name))
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` dominates ``b`` (minimization)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(
+    records: Sequence,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+) -> List:
+    """Non-dominated records under simultaneous minimization of ``objectives``.
+
+    Input order is preserved.  Records with identical objective vectors are
+    all kept (none dominates the other), so equivalent design points stay
+    visible in the front.
+    """
+    vectors = [tuple(metric_of(r, m) for m in objectives) for r in records]
+    front = []
+    for i, record in enumerate(records):
+        if not any(
+            _dominates(vectors[j], vectors[i]) for j in range(len(records)) if j != i
+        ):
+            front.append(record)
+    return front
+
+
+def pareto_front_by_design(
+    records: Sequence,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+) -> Dict[str, List]:
+    """Per-design Pareto fronts (designs compute different functions, so
+    dominance across designs is not meaningful)."""
+    by_design: Dict[str, List] = {}
+    for record in records:
+        design = str(field_of(record, "design_name"))
+        by_design.setdefault(design, []).append(record)
+    return {
+        design: pareto_front(group, objectives)
+        for design, group in by_design.items()
+    }
+
+
+def best_per_design(
+    records: Sequence,
+    metric: str = "delay_ns",
+) -> Dict[str, object]:
+    """The record minimizing ``metric`` for each design (first wins on ties)."""
+    best: Dict[str, object] = {}
+    for record in records:
+        design = str(field_of(record, "design_name"))
+        if design not in best or metric_of(record, metric) < metric_of(
+            best[design], metric
+        ):
+            best[design] = record
+    return best
+
+
+def improvement_matrix(
+    records: Sequence,
+    reference_method: str,
+    metric: str = "delay_ns",
+) -> Dict[str, Dict[str, float]]:
+    """Per-design percentage improvement of every method over a reference.
+
+    Returns ``{design: {method: pct}}``.  Designs without a result for
+    ``reference_method`` are skipped; when a (design, method) pair has
+    several records (e.g. several final adders), the best (minimum) metric
+    value represents the pair.
+    """
+    per_pair: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        design = str(field_of(record, "design_name"))
+        method = str(field_of(record, "method"))
+        value = metric_of(record, metric)
+        methods = per_pair.setdefault(design, {})
+        if method not in methods or value < methods[method]:
+            methods[method] = value
+
+    matrix: Dict[str, Dict[str, float]] = {}
+    for design, methods in per_pair.items():
+        if reference_method not in methods:
+            continue
+        reference = methods[reference_method]
+        matrix[design] = {
+            method: improvement_pct(reference, value)
+            for method, value in methods.items()
+        }
+    return matrix

@@ -1,0 +1,269 @@
+"""Sweep execution engine: points in, metric records out.
+
+The engine turns a :class:`~repro.explore.spec.SweepSpec` (or an explicit
+point list) into :class:`PointOutcome` records:
+
+* cached points are answered from the :class:`~repro.explore.cache.ResultCache`
+  without synthesizing anything;
+* the remaining points run through :func:`execute_point` either serially or
+  on a ``ProcessPoolExecutor`` worker pool (``jobs > 1``), falling back to
+  serial execution when the platform cannot spawn worker processes;
+* a point that raises is captured as a per-point error record instead of
+  aborting the sweep.
+
+Workers receive only the (picklable) :class:`SweepPoint` and return only the
+metric dict, so no netlist ever crosses a process boundary.
+
+:func:`execute_point` is also the single-point execution path that
+:func:`repro.flows.compare.compare_methods` runs on, which keeps the paper's
+table harnesses and ad-hoc sweeps on the same code path.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.designs.base import DatapathDesign
+from repro.designs.registry import get_design, with_random_probabilities
+from repro.explore.cache import ResultCache
+from repro.explore.spec import SweepPoint, SweepSpec
+from repro.flows.synthesis import SynthesisResult, synthesize
+from repro.tech.default_libs import resolve_library
+from repro.tech.library import TechLibrary
+
+
+def execute_point(
+    point: SweepPoint,
+    design: Optional[DatapathDesign] = None,
+    library: Optional[TechLibrary] = None,
+) -> SynthesisResult:
+    """Synthesize one sweep point, returning the full result.
+
+    ``design`` / ``library`` may be passed to reuse already-built objects
+    (the comparison harness does); otherwise they are rebuilt from the
+    point's registry names, which is what pool workers do.
+    """
+    if design is None:
+        design = get_design(point.design)
+        if point.random_probabilities:
+            design = with_random_probabilities(design, seed=point.seed)
+    if library is None:
+        library = resolve_library(point.library)
+    return synthesize(
+        design,
+        method=point.method,
+        library=library,
+        final_adder=point.final_adder,
+        seed=point.seed,
+        use_csd_coefficients=point.use_csd_coefficients,
+        multiplication_style=point.multiplication_style,
+    )
+
+
+def _run_one(point: SweepPoint) -> Tuple[Optional[Dict], Optional[str], float]:
+    """Worker body: (metrics, error, elapsed_s). Never raises."""
+    start = time.perf_counter()
+    try:
+        metrics = execute_point(point).to_dict()
+        return metrics, None, time.perf_counter() - start
+    except Exception as exc:  # per-point capture is the whole point
+        error = f"{type(exc).__name__}: {exc}"
+        return None, error, time.perf_counter() - start
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one sweep point."""
+
+    point: SweepPoint
+    metrics: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the point produced metrics (fresh or cached)."""
+        return self.metrics is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able record: one per sweep point in the artifacts."""
+        return {
+            "point": self.point.to_dict(),
+            "ok": self.ok,
+            "cached": self.cached,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "metrics": self.metrics,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one sweep run, in spec expansion order."""
+
+    outcomes: List[PointOutcome]
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    used_fallback: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        """Metric dicts of the successful points (cached ones included)."""
+        return [o.metrics for o in self.outcomes if o.metrics is not None]
+
+    @property
+    def failures(self) -> List[PointOutcome]:
+        """Outcomes whose synthesis raised."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when every point succeeded."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line sweep summary for logs and the CLI."""
+        parts = [
+            f"{len(self.outcomes)} points",
+            f"{len(self.failures)} failed",
+            f"{self.cache_hits} cached",
+            f"jobs={self.jobs}",
+            f"{self.elapsed_s:.2f}s",
+        ]
+        if self.used_fallback:
+            parts.append("serial-fallback")
+        return "sweep: " + ", ".join(parts)
+
+
+ProgressFn = Callable[[PointOutcome, int, int], None]
+
+
+def _run_serial(
+    pending: List[Tuple[int, SweepPoint]],
+    report: Callable[[int, PointOutcome], None],
+) -> None:
+    for index, point in pending:
+        metrics, error, elapsed = _run_one(point)
+        report(index, PointOutcome(point, metrics, error, False, elapsed))
+
+
+def _run_parallel(
+    pending: List[Tuple[int, SweepPoint]],
+    jobs: int,
+    report: Callable[[int, PointOutcome], None],
+) -> bool:
+    """Run pending points on a process pool; True if the pool was unusable.
+
+    Outcomes are reported as they complete.  If the pool cannot be created
+    or breaks (sandboxed platforms, missing semaphores, killed workers), the
+    not-yet-reported points are re-run serially and the function returns
+    True so the caller can record the fallback.  Only pool machinery is
+    guarded — an exception raised by ``report`` itself (cache write failure,
+    progress-callback bug) propagates to the caller instead of silently
+    triggering a serial re-run.
+    """
+    done: set = set()
+    try:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+    except Exception:
+        _run_serial(pending, report)
+        return True
+    broken = False
+    with pool:
+        try:
+            futures = {
+                pool.submit(_run_one, point): (index, point) for index, point in pending
+            }
+        except Exception:
+            futures = {}
+            broken = True
+        remaining = set(futures)
+        while remaining and not broken:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index, point = futures[future]
+                try:
+                    metrics, error, elapsed = future.result()
+                except Exception:
+                    broken = True
+                    break
+                report(index, PointOutcome(point, metrics, error, False, elapsed))
+                done.add(index)
+    if broken:
+        _run_serial([(i, p) for i, p in pending if i not in done], report)
+        return True
+    return False
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Sequence[SweepPoint]],
+    jobs: int = 1,
+    cache: Union[ResultCache, str, Path, None] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Run every point of ``spec``, honouring the cache and the worker pool.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SweepSpec` (expanded here) or an explicit point sequence.
+    jobs:
+        Worker processes for uncached points; ``<= 1`` runs serially.
+    cache:
+        A :class:`ResultCache`, a directory path to open one in, or ``None``
+        to disable caching.  Fresh results are written back to the cache.
+    progress:
+        Optional callback ``(outcome, done_count, total)`` invoked as each
+        point resolves (cached points first, then completions in whatever
+        order the pool finishes them).
+    """
+    start = time.perf_counter()
+    points = spec.expand() if isinstance(spec, SweepSpec) else [p.canonical() for p in spec]
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+
+    outcomes: Dict[int, PointOutcome] = {}
+    finished = 0
+
+    def report(index: int, outcome: PointOutcome) -> None:
+        nonlocal finished
+        if cache is not None and outcome.metrics is not None and not outcome.cached:
+            cache.put(outcome.point, outcome.metrics)
+        outcomes[index] = outcome
+        finished += 1
+        if progress is not None:
+            progress(outcome, finished, len(points))
+
+    pending: List[Tuple[int, SweepPoint]] = []
+    hits = 0
+    for index, point in enumerate(points):
+        metrics = cache.get(point) if cache is not None else None
+        if metrics is not None:
+            hits += 1
+            report(index, PointOutcome(point, metrics, cached=True))
+        else:
+            pending.append((index, point))
+
+    used_fallback = False
+    effective_jobs = max(1, min(jobs, len(pending))) if pending else 1
+    if pending:
+        if effective_jobs > 1:
+            used_fallback = _run_parallel(pending, effective_jobs, report)
+        else:
+            _run_serial(pending, report)
+
+    return SweepResult(
+        outcomes=[outcomes[i] for i in range(len(points))],
+        jobs=effective_jobs,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        used_fallback=used_fallback,
+        elapsed_s=time.perf_counter() - start,
+    )

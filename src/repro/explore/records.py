@@ -1,0 +1,68 @@
+"""Metric records: the JSON-able summary of one synthesis run.
+
+:class:`PointMetrics` mirrors the metric fields of
+:class:`repro.flows.synthesis.SynthesisResult` (as produced by its
+``to_dict()``) without carrying the netlist, so sweep results can be cached,
+shipped between processes and fed to the Table 1/2 report builders, which
+only read metric attributes.
+
+This module deliberately has no imports from the flow layer, so the report
+and comparison layers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping
+
+
+@dataclass
+class PointMetrics:
+    """Metrics-only view of one synthesis result."""
+
+    design_name: str
+    method: str
+    final_adder: str
+    library_name: str
+    output_width: int
+    delay_ns: float
+    area: float
+    total_energy: float
+    tree_energy: float
+    cell_count: int
+    fa_count: int
+    ha_count: int
+    max_final_arrival: float
+    notes: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PointMetrics":
+        """Rebuild from a ``SynthesisResult.to_dict()`` / cache record."""
+        return cls(
+            design_name=str(data["design_name"]),
+            method=str(data["method"]),
+            final_adder=str(data["final_adder"]),
+            library_name=str(data["library_name"]),
+            output_width=int(data["output_width"]),
+            delay_ns=float(data["delay_ns"]),
+            area=float(data["area"]),
+            total_energy=float(data["total_energy"]),
+            tree_energy=float(data["tree_energy"]),
+            cell_count=int(data["cell_count"]),
+            fa_count=int(data["fa_count"]),
+            ha_count=int(data["ha_count"]),
+            max_final_arrival=float(data["max_final_arrival"]),
+            notes=list(data.get("notes", ())),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    def summary(self) -> str:
+        """One-line summary in the same format as ``SynthesisResult.summary``."""
+        return (
+            f"{self.design_name:<18} {self.method:<16} delay={self.delay_ns:6.3f} ns  "
+            f"area={self.area:9.1f}  E_tree={self.tree_energy:9.3f}  "
+            f"cells={self.cell_count:5d} (FA={self.fa_count}, HA={self.ha_count})"
+        )

@@ -1,0 +1,235 @@
+"""Declarative sweep specifications for design-space exploration.
+
+A :class:`SweepPoint` names one fully-determined synthesis run (design,
+allocation method, final adder, library, partial-product style, CSD option,
+probability protocol, seed) with only plain, hashable, picklable values —
+worker processes and the on-disk cache both key off it.  A
+:class:`SweepSpec` describes a cartesian grid over those axes plus optional
+constraint filters and expands to a list of points.
+
+The paper's Table 1 and Table 2 are just two small presets of this grid
+(see :func:`table1_spec` / :func:`table2_spec`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExplorationError
+
+#: methods whose netlist does not depend on the matrix-construction axes
+#: (partial-product style, CSD recoding); used to canonicalize points so the
+#: grid does not schedule duplicate work for them.
+_MATRIX_FREE_METHODS = ("conventional",)
+
+#: fields of :class:`SweepPoint`, in canonical (cache-key) order
+_POINT_FIELDS = (
+    "design",
+    "method",
+    "final_adder",
+    "library",
+    "multiplication_style",
+    "use_csd_coefficients",
+    "random_probabilities",
+    "seed",
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-determined synthesis run inside a sweep.
+
+    Every field is a plain scalar so points can be pickled to worker
+    processes, hashed into cache keys and serialized to JSON artifacts.
+    """
+
+    design: str
+    method: str = "fa_aot"
+    final_adder: str = "cla"
+    library: str = "generic_035"
+    multiplication_style: str = "and_array"
+    use_csd_coefficients: bool = False
+    random_probabilities: bool = False
+    #: ``None`` requests an unseeded (nondeterministic) ``fa_random`` draw
+    seed: Optional[int] = 2000
+
+    def canonical(self) -> "SweepPoint":
+        """Normalized copy with don't-care axes reset.
+
+        Matrix-construction axes are reset for matrix-free methods, and the
+        seed is reset when nothing random depends on it (only ``fa_random``
+        and the random-probability protocol consume it), so a multi-seed
+        grid never schedules or caches duplicate deterministic work.
+        """
+        point = self
+        if point.method in _MATRIX_FREE_METHODS and (
+            point.multiplication_style != "and_array" or point.use_csd_coefficients
+        ):
+            point = replace(
+                point, multiplication_style="and_array", use_csd_coefficients=False
+            )
+        if point.method != "fa_random" and not point.random_probabilities:
+            if point.seed != 2000:
+                point = replace(point, seed=2000)
+        return point
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view in canonical field order (JSON artifacts, cache)."""
+        return {name: getattr(self, name) for name in _POINT_FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepPoint":
+        """Rebuild a point from :meth:`to_dict` output."""
+        return cls(**{name: data[name] for name in _POINT_FIELDS if name in data})
+
+    def key(self) -> str:
+        """Stable content key identifying this point (cache identity)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Short hex digest of :meth:`key` — used as the cache file name."""
+        return hashlib.sha256(self.key().encode("utf-8")).hexdigest()[:32]
+
+    def label(self) -> str:
+        """Compact human-readable identifier for progress lines and reports."""
+        parts = [self.design, self.method, self.final_adder]
+        if self.library != "generic_035":
+            parts.append(self.library)
+        if self.multiplication_style != "and_array":
+            parts.append(self.multiplication_style)
+        if self.use_csd_coefficients:
+            parts.append("csd")
+        if self.random_probabilities:
+            parts.append(f"randp{self.seed}")
+        return "/".join(parts)
+
+
+#: a constraint takes a point and returns True to keep it
+Constraint = Callable[[SweepPoint], bool]
+
+
+@dataclass
+class SweepSpec:
+    """A cartesian grid of sweep points with optional constraint filters.
+
+    ``expand()`` produces the full design x method x final-adder x library x
+    multiplication-style x CSD x seed product (designs outermost, seeds
+    innermost), canonicalizes each point, drops duplicates, validates the
+    axis values and applies every constraint in order.
+    """
+
+    designs: Sequence[str]
+    methods: Sequence[str] = ("fa_aot",)
+    final_adders: Sequence[str] = ("cla",)
+    libraries: Sequence[str] = ("generic_035",)
+    multiplication_styles: Sequence[str] = ("and_array",)
+    csd_options: Sequence[bool] = (False,)
+    random_probabilities: bool = False
+    seeds: Sequence[int] = (2000,)
+    constraints: Sequence[Constraint] = field(default_factory=tuple)
+
+    def _validate(self) -> None:
+        from repro.adders.factory import FINAL_ADDER_KINDS
+        from repro.designs.registry import list_designs
+        from repro.flows.synthesis import SYNTHESIS_METHODS
+        from repro.tech.default_libs import LIBRARY_NAMES
+
+        def check(axis: str, values: Sequence, allowed: Sequence) -> None:
+            unknown = [v for v in values if v not in allowed]
+            if unknown:
+                raise ExplorationError(
+                    f"unknown {axis} {unknown!r}; expected values from {tuple(allowed)}"
+                )
+
+        if not self.designs:
+            raise ExplorationError("sweep spec has no designs")
+        check("design(s)", self.designs, list_designs())
+        check("method(s)", self.methods, SYNTHESIS_METHODS)
+        check("final adder(s)", self.final_adders, FINAL_ADDER_KINDS)
+        check("library(ies)", self.libraries, LIBRARY_NAMES)
+        check(
+            "multiplication style(s)",
+            self.multiplication_styles,
+            ("and_array", "booth"),
+        )
+
+    def expand(self) -> List[SweepPoint]:
+        """Expand the grid into a deduplicated, constraint-filtered point list."""
+        self._validate()
+        points: List[SweepPoint] = []
+        seen: set = set()
+        # rightmost axes vary fastest, matching the declared axis order
+        grid = itertools.product(
+            self.designs,
+            self.methods,
+            self.final_adders,
+            self.libraries,
+            self.multiplication_styles,
+            self.csd_options,
+            self.seeds,
+        )
+        for design, method, final_adder, library, style, csd, seed in grid:
+            point = SweepPoint(
+                design=design,
+                method=method,
+                final_adder=final_adder,
+                library=library,
+                multiplication_style=style,
+                use_csd_coefficients=csd,
+                random_probabilities=self.random_probabilities,
+                seed=seed,
+            ).canonical()
+            if point.key() in seen:
+                continue
+            if not all(c(point) for c in self.constraints):
+                continue
+            seen.add(point.key())
+            points.append(point)
+        return points
+
+    def size_bound(self) -> int:
+        """Upper bound on the grid size before dedup/constraints."""
+        return (
+            len(self.designs)
+            * len(self.methods)
+            * len(self.final_adders)
+            * len(self.libraries)
+            * len(self.multiplication_styles)
+            * len(self.csd_options)
+            * len(self.seeds)
+        )
+
+
+def table1_spec(
+    designs: Sequence[str],
+    library: str = "generic_035",
+    final_adder: str = "cla",
+) -> SweepSpec:
+    """The Table 1 protocol: conventional / CSA_OPT / FA_AOT, default inputs."""
+    return SweepSpec(
+        designs=tuple(designs),
+        methods=("conventional", "csa_opt", "fa_aot"),
+        final_adders=(final_adder,),
+        libraries=(library,),
+    )
+
+
+def table2_spec(
+    designs: Sequence[str],
+    seed: int = 2000,
+    library: str = "generic_035",
+    final_adder: str = "cla",
+) -> SweepSpec:
+    """The Table 2 protocol: FA_random vs FA_ALP with random probabilities."""
+    return SweepSpec(
+        designs=tuple(designs),
+        methods=("fa_random", "fa_alp"),
+        final_adders=(final_adder,),
+        libraries=(library,),
+        random_probabilities=True,
+        seeds=(seed,),
+    )

@@ -6,7 +6,12 @@ from repro.flows.synthesis import (
     SynthesisResult,
     synthesize,
 )
-from repro.flows.compare import ComparisonRow, compare_methods, improvement_pct
+from repro.flows.compare import (
+    ComparisonRow,
+    compare_methods,
+    improvement_pct,
+    rows_from_records,
+)
 
 __all__ = [
     "MATRIX_METHODS",
@@ -16,4 +21,5 @@ __all__ = [
     "ComparisonRow",
     "compare_methods",
     "improvement_pct",
+    "rows_from_records",
 ]

@@ -1,21 +1,32 @@
-"""Method-comparison harness used by the Table 1 / Table 2 benchmarks."""
+"""Method-comparison harness used by the Table 1 / Table 2 benchmarks.
+
+``compare_methods`` runs on the exploration engine's single-point execution
+path (:func:`repro.explore.engine.execute_point`), so ad-hoc comparisons,
+the paper-table harnesses and full ``repro.explore`` sweeps all synthesize
+through the same code.  A :class:`ComparisonRow` can hold either full
+:class:`SynthesisResult` objects (from a live comparison) or metrics-only
+:class:`~repro.explore.records.PointMetrics` views (rebuilt from sweep
+records) — the reports only touch the metric attributes common to both.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.designs.base import DatapathDesign
-from repro.flows.synthesis import SynthesisResult, synthesize
+from repro.flows.synthesis import SynthesisResult
 from repro.tech.library import TechLibrary
+from repro.utils.metrics import improvement_pct
 from repro.utils.tables import TextTable
 
-
-def improvement_pct(reference: float, improved: float) -> float:
-    """Percentage improvement of ``improved`` over ``reference`` (positive = better)."""
-    if reference == 0:
-        return 0.0
-    return 100.0 * (reference - improved) / reference
+__all__ = [
+    "ComparisonRow",
+    "compare_methods",
+    "comparison_table",
+    "improvement_pct",
+    "rows_from_records",
+]
 
 
 @dataclass
@@ -57,17 +68,54 @@ def compare_methods(
     final_adder: str = "cla",
     seed: Optional[int] = 2000,
 ) -> ComparisonRow:
-    """Synthesize ``design`` with every method and collect the results."""
+    """Synthesize ``design`` with every method and collect the full results.
+
+    Runs each method through the exploration engine's single-point path, so
+    this harness and ``repro.explore`` sweeps stay behaviourally identical.
+    """
+    # imported lazily: repro.explore.engine imports this flow package
+    from repro.explore.engine import execute_point
+    from repro.explore.spec import SweepPoint
+
     row = ComparisonRow(design=design)
     for method in methods:
-        row.results[method] = synthesize(
-            design,
+        point = SweepPoint(
+            design=design.name,
             method=method,
-            library=library,
             final_adder=final_adder,
+            library=library.name if library is not None else "generic_035",
             seed=seed,
         )
+        row.results[method] = execute_point(point, design=design, library=library)
     return row
+
+
+def rows_from_records(
+    records: Sequence[Mapping[str, object]],
+    designs: Sequence[DatapathDesign],
+) -> List[ComparisonRow]:
+    """Group sweep metric records into one :class:`ComparisonRow` per design.
+
+    ``records`` are ``SynthesisResult.to_dict()``-shaped dicts (live sweep
+    results, cache entries or a JSON artifact read back from disk); rows come
+    back in ``designs`` order with metrics-only result views, which is all
+    the table builders need.
+    """
+    from repro.explore.records import PointMetrics
+
+    by_design: Dict[str, List[ComparisonRow]] = {}
+    rows: List[ComparisonRow] = []
+    for design in designs:
+        row = ComparisonRow(design=design)
+        by_design.setdefault(design.name, []).append(row)
+        rows.append(row)
+    for record in records:
+        targets = by_design.get(str(record["design_name"]))
+        if targets:
+            metrics = PointMetrics.from_dict(record)
+            for row in targets:
+                row.results[metrics.method] = metrics
+    return rows
 
 
 def comparison_table(

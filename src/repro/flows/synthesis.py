@@ -94,6 +94,30 @@ class SynthesisResult:
             f"cells={self.cell_count:5d} (FA={self.fa_count}, HA={self.ha_count})"
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able metric summary (no netlist, no analysis internals).
+
+        This is the record shape used by the exploration engine, its result
+        cache and the ``--json`` CLI outputs;
+        :class:`repro.explore.records.PointMetrics` is its typed mirror.
+        """
+        return {
+            "design_name": self.design_name,
+            "method": self.method,
+            "final_adder": self.final_adder,
+            "library_name": self.library_name,
+            "output_width": self.output_width,
+            "delay_ns": self.delay_ns,
+            "area": self.area,
+            "total_energy": self.total_energy,
+            "tree_energy": self.tree_energy,
+            "cell_count": self.cell_count,
+            "fa_count": self.fa_count,
+            "ha_count": self.ha_count,
+            "max_final_arrival": self.max_final_arrival,
+            "notes": list(self.notes),
+        }
+
 
 def _reduce_matrix(
     method: str,

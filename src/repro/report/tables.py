@@ -1,15 +1,19 @@
 """Builders for the Table 1 / Table 2 style reports.
 
-Both functions take :class:`~repro.flows.compare.ComparisonRow` records (one
-per design) and render a plain-text table that places the reproduced numbers
-next to the numbers published in the paper.
+The core renderers take :class:`~repro.flows.compare.ComparisonRow` records
+(one per design) and render a plain-text table that places the reproduced
+numbers next to the numbers published in the paper.  The ``*_from_records``
+variants accept raw sweep metric records from the :mod:`repro.explore`
+engine instead, so the paper tables are just presentations of a sweep (this
+is the path the CLI uses).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.flows.compare import ComparisonRow, improvement_pct
+from repro.designs.base import DatapathDesign
+from repro.flows.compare import ComparisonRow, improvement_pct, rows_from_records
 from repro.report.paper_data import PAPER_TABLE1, PAPER_TABLE2
 from repro.utils.tables import TextTable
 
@@ -109,6 +113,24 @@ def table2_report(rows: List[ComparisonRow], include_paper: bool = True) -> str:
             f"(paper: 11.8%)"
         )
     return "\n".join(lines)
+
+
+def table1_from_records(
+    records: Sequence[Mapping[str, object]],
+    designs: Sequence[DatapathDesign],
+    include_paper: bool = True,
+) -> str:
+    """Render Table 1 from sweep metric records (the explore-engine path)."""
+    return table1_report(rows_from_records(records, designs), include_paper=include_paper)
+
+
+def table2_from_records(
+    records: Sequence[Mapping[str, object]],
+    designs: Sequence[DatapathDesign],
+    include_paper: bool = True,
+) -> str:
+    """Render Table 2 from sweep metric records (the explore-engine path)."""
+    return table2_report(rows_from_records(records, designs), include_paper=include_paper)
 
 
 def method_metric_table(

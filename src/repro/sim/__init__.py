@@ -1,13 +1,21 @@
 """Bit-true functional simulation and equivalence checking."""
 
-from repro.sim.evaluator import bus_value, evaluate_netlist, set_bus_value
+from repro.sim.evaluator import (
+    BatchValues,
+    bus_value,
+    evaluate_netlist,
+    evaluate_vectors,
+    set_bus_value,
+)
 from repro.sim.vectors import exhaustive_vectors, random_vectors
 from repro.sim.equivalence import EquivalenceReport, check_equivalence
 from repro.sim.toggles import empirical_switching
 
 __all__ = [
+    "BatchValues",
     "bus_value",
     "evaluate_netlist",
+    "evaluate_vectors",
     "set_bus_value",
     "exhaustive_vectors",
     "random_vectors",

@@ -16,7 +16,7 @@ from repro.errors import SimulationError
 from repro.expr.ast import Expression
 from repro.expr.signals import SignalSpec
 from repro.netlist.core import Bus, Netlist
-from repro.sim.evaluator import bus_value, evaluate_netlist
+from repro.sim.evaluator import evaluate_vectors
 from repro.sim.vectors import exhaustive_vectors, random_vectors, total_input_width
 
 
@@ -64,10 +64,13 @@ def check_equivalence(
         vectors = random_vectors(signals, random_vector_count, seed=seed)
         exhaustive = False
 
+    # all vectors are evaluated in one bit-parallel batch (every cell is
+    # visited once for the whole vector set), then compared per vector
+    produced_values = evaluate_vectors(netlist, vectors).bus_values(output_bus)
+
     mismatches: List[Dict[str, int]] = []
-    for vector in vectors:
-        values = evaluate_netlist(netlist, vector)
-        produced = bus_value(values, output_bus) % modulo
+    for vector, produced_raw in zip(vectors, produced_values):
+        produced = produced_raw % modulo
         expected = expression.evaluate(vector) % modulo
         if produced != expected:
             record = dict(vector)

@@ -16,7 +16,7 @@ from typing import Dict, Mapping, Optional
 
 from repro.expr.signals import SignalSpec
 from repro.netlist.core import Netlist
-from repro.sim.evaluator import evaluate_netlist
+from repro.sim.evaluator import evaluate_vectors
 from repro.sim.vectors import random_vectors
 
 
@@ -43,25 +43,29 @@ def empirical_switching(
     vector_count: int = 256,
     seed: Optional[int] = 7,
 ) -> EmpiricalSwitching:
-    """Simulate random vectors and measure per-net toggle rates."""
+    """Simulate random vectors and measure per-net toggle rates.
+
+    All vectors are evaluated in one bit-parallel batch; per-net statistics
+    then reduce to popcounts on the packed value words — ones are set bits,
+    toggles are set bits of ``packed ^ (packed >> 1)`` over consecutive
+    vector pairs.
+    """
     vectors = random_vectors(
         signals, vector_count, seed=seed, respect_probabilities=True
     )
-    previous: Optional[Dict[str, int]] = None
-    toggles: Dict[str, int] = {}
-    ones: Dict[str, int] = {}
-    for vector in vectors:
-        values = evaluate_netlist(netlist, vector)
-        for name, value in values.items():
-            ones[name] = ones.get(name, 0) + value
-            if previous is not None and previous.get(name) != value:
-                toggles[name] = toggles.get(name, 0) + 1
-        previous = values
+    batch = evaluate_vectors(netlist, vectors)
 
     pairs = max(1, len(vectors) - 1)
     count = max(1, len(vectors))
+    pair_mask = (1 << max(0, len(vectors) - 1)) - 1
+    toggle_rate: Dict[str, float] = {}
+    one_probability: Dict[str, float] = {}
+    for name, packed in batch.values.items():
+        one_probability[name] = bin(packed).count("1") / count
+        toggle_rate[name] = bin((packed ^ (packed >> 1)) & pair_mask).count("1") / pairs
+
     return EmpiricalSwitching(
         vectors_simulated=len(vectors),
-        toggle_rate={name: toggles.get(name, 0) / pairs for name in ones},
-        one_probability={name: ones[name] / count for name in ones},
+        toggle_rate=toggle_rate,
+        one_probability=one_probability,
     )

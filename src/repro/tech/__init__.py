@@ -8,12 +8,20 @@ algorithm-level reasoning and tests.
 """
 
 from repro.tech.library import CellSpec, TechLibrary
-from repro.tech.default_libs import generic_035, unit_library, scaled_library
+from repro.tech.default_libs import (
+    LIBRARY_NAMES,
+    generic_035,
+    resolve_library,
+    scaled_library,
+    unit_library,
+)
 
 __all__ = [
     "CellSpec",
     "TechLibrary",
+    "LIBRARY_NAMES",
     "generic_035",
+    "resolve_library",
     "unit_library",
     "scaled_library",
 ]

@@ -188,3 +188,25 @@ def scaled_library(
         cells[cell_type] = spec
     label = name or f"{base.name}_fa_{fa_sum_delay:g}_{fa_carry_delay:g}"
     return TechLibrary(label, cells)
+
+
+#: names accepted by :func:`resolve_library` (the CLI / sweep library axis)
+LIBRARY_NAMES = ("generic_035", "unit")
+
+
+def resolve_library(name: str) -> TechLibrary:
+    """Build a default library from its registry name.
+
+    Used by the CLI and the exploration engine so that a sweep point can
+    reference a library by name (names are picklable and hashable, library
+    objects are rebuilt inside worker processes).
+    """
+    if name == "generic_035":
+        return generic_035()
+    if name == "unit":
+        return unit_library()
+    from repro.errors import LibraryError
+
+    raise LibraryError(
+        f"unknown library {name!r} (choices: {', '.join(LIBRARY_NAMES)})"
+    )

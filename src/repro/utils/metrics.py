@@ -1,0 +1,15 @@
+"""Metric arithmetic shared by the comparison harness and sweep analysis.
+
+Lives in :mod:`repro.utils` (rather than :mod:`repro.flows.compare`, which
+re-exports it for backwards compatibility) so that the exploration subsystem
+can use it without importing the flow layer.
+"""
+
+from __future__ import annotations
+
+
+def improvement_pct(reference: float, improved: float) -> float:
+    """Percentage improvement of ``improved`` over ``reference`` (positive = better)."""
+    if reference == 0:
+        return 0.0
+    return 100.0 * (reference - improved) / reference
