@@ -1,0 +1,92 @@
+"""Benchmark aggregator: discover and run every ``bench_*.py`` harness.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks              # run everything
+    PYTHONPATH=src python -m benchmarks --only opt   # substring filter
+    PYTHONPATH=src python -m benchmarks --list       # discovery only
+
+Each benchmark file runs in its own pytest subprocess (they are pytest
+harnesses: fixtures, parametrization, ``benchmark`` timings) and yields one
+JSON line on stdout::
+
+    {"bench": "bench_opt", "ok": true, "returncode": 0, "elapsed_s": 3.21}
+
+The exit code is non-zero when any benchmark fails, so the aggregator can
+gate CI.  Human-readable reports still land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from typing import List
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def discover(only: str = "") -> List[pathlib.Path]:
+    """All ``bench_*.py`` files, optionally filtered by a name substring."""
+    return sorted(
+        path
+        for path in BENCH_DIR.glob("bench_*.py")
+        if only in path.stem
+    )
+
+
+def run_bench(path: pathlib.Path) -> dict:
+    """Run one benchmark file under pytest and summarize it as a dict."""
+    start = time.perf_counter()
+    env = dict(os.environ)
+    src = str(BENCH_DIR.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(path), "-q", "--no-header"],
+        cwd=str(BENCH_DIR.parent),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    return {
+        "bench": path.stem,
+        "ok": proc.returncode == 0,
+        "returncode": proc.returncode,
+        "elapsed_s": round(time.perf_counter() - start, 3),
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks",
+        description="run every bench_*.py harness, one JSON summary line each",
+    )
+    parser.add_argument("--only", default="", help="substring filter on bench names")
+    parser.add_argument(
+        "--list", action="store_true", help="list matching benchmarks and exit"
+    )
+    args = parser.parse_args(argv)
+
+    benches = discover(args.only)
+    if not benches:
+        print(f"no benchmarks match {args.only!r}", file=sys.stderr)
+        return 2
+    if args.list:
+        for path in benches:
+            print(path.stem)
+        return 0
+
+    failures = 0
+    for path in benches:
+        record = run_bench(path)
+        failures += 0 if record["ok"] else 1
+        print(json.dumps(record), flush=True)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

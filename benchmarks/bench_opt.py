@@ -1,0 +1,117 @@
+"""Benchmark: the netlist optimization pipeline (`repro.opt`).
+
+For a representative set of designs and construction methods, runs the full
+``-O2`` pipeline and reports — per pass — how many rewrites it performed,
+how many cells it removed and how long it took, plus the whole-pipeline
+cell/area reduction and the equivalence-check cost.  The assertions pin the
+contract: every optimized netlist must stay equivalent to its original, the
+pipeline must converge, and at least three of the benchmarked designs must
+actually shrink.  (Raw cell count is not guaranteed to be monotone — FA
+strength reduction deliberately trades one FA for two cheaper gates — but
+area is expected to improve on every real design.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.designs.registry import get_design
+from repro.flows.synthesis import synthesize
+from repro.opt import optimize_netlist
+from repro.utils.tables import TextTable
+
+_CASES = (
+    ("x2_plus_x_plus_y", "fa_aot"),
+    ("square_of_sum", "fa_aot"),
+    ("iir", "fa_aot"),
+    ("iir", "conventional"),
+    ("kalman", "fa_aot"),
+)
+
+_RESULTS: List[Dict] = []
+
+
+@pytest.mark.parametrize("design_name,method", _CASES)
+def test_opt_case(benchmark, design_name, method, library):
+    result = synthesize(get_design(design_name), method=method, library=library)
+    cells_before = result.netlist.num_cells()
+    area_before = result.stats.area
+
+    start = time.perf_counter()
+    report = optimize_netlist(result.netlist, opt_level=2, library=library)
+    elapsed = time.perf_counter() - start
+
+    assert report.equivalence is not None and report.equivalence.equivalent
+    assert report.converged
+    assert report.area_delta is not None and report.area_delta >= 0
+
+    per_pass: Dict[str, Dict[str, float]] = {}
+    for stat in report.passes:
+        entry = per_pass.setdefault(
+            stat.pass_name, {"rewrites": 0, "removed": 0, "time_s": 0.0}
+        )
+        entry["rewrites"] += stat.rewrites
+        entry["removed"] += stat.cells_before - stat.cells_after
+        entry["time_s"] += stat.elapsed_s
+
+    _RESULTS.append(
+        {
+            "design": design_name,
+            "method": method,
+            "cells_before": cells_before,
+            "cells_after": report.after.num_cells,
+            "area_before": area_before,
+            "area_after": report.after.area,
+            "iterations": report.iterations,
+            "elapsed_s": elapsed,
+            "per_pass": per_pass,
+            "equiv_vectors": report.equivalence.vectors_checked,
+            "exhaustive": report.equivalence.exhaustive,
+        }
+    )
+
+
+def test_opt_report(benchmark):
+    if len(_RESULTS) != len(_CASES):
+        pytest.skip("per-case results missing (deselected or reordered run)")
+
+    summary = TextTable(
+        ["design", "method", "cells", "removed", "area", "iters", "equiv", "time s"],
+        float_digits=3,
+    )
+    for row in _RESULTS:
+        summary.add_row(
+            [
+                row["design"],
+                row["method"],
+                f"{row['cells_before']} -> {row['cells_after']}",
+                row["cells_before"] - row["cells_after"],
+                f"{row['area_before']:.0f} -> {row['area_after']:.0f}",
+                row["iterations"],
+                f"{row['equiv_vectors']}{'x' if row['exhaustive'] else 'r'}",
+                row["elapsed_s"],
+            ]
+        )
+
+    pass_names = sorted({name for row in _RESULTS for name in row["per_pass"]})
+    passes = TextTable(
+        ["pass"] + [f"{r['design']}/{r['method']}" for r in _RESULTS], float_digits=1
+    )
+    for name in pass_names:
+        cells_row = [name]
+        for row in _RESULTS:
+            entry = row["per_pass"].get(name, {"removed": 0, "time_s": 0.0})
+            cells_row.append(f"-{entry['removed']:.0f} ({entry['time_s'] * 1e3:.1f}ms)")
+        passes.add_row(cells_row)
+
+    text = summary.render(title="-O2 pipeline: whole-netlist effect") + "\n\n"
+    text += passes.render(title="cells removed (and wall time) per pass")
+    save_report("opt_pipeline", text)
+
+    # at least three designs must actually shrink (the acceptance contract)
+    shrunk = [r for r in _RESULTS if r["cells_after"] < r["cells_before"]]
+    assert len(shrunk) >= 3

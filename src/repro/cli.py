@@ -5,11 +5,13 @@ Usage examples::
     repro-datapath list-designs
     repro-datapath synth --design iir --method fa_aot --verilog iir.v
     repro-datapath synth --design iir --json iir.json
+    repro-datapath synth --design iir --opt 2            # optimized netlist
     repro-datapath compare --design kalman --methods conventional csa_opt fa_aot
     repro-datapath table1 --jobs 4 --cache-dir .sweep-cache
     repro-datapath table2
     repro-datapath explore --designs iir kalman --methods fa_aot wallace dadda \\
-        --final-adders cla ripple --jobs 4 --cache-dir .sweep-cache \\
+        --final-adders cla ripple --opt-levels 0 2 \\
+        --jobs 4 --cache-dir .sweep-cache \\
         --json sweep.json --csv sweep.csv --pareto
 
 ``table1`` / ``table2`` and ``explore`` all run on the
@@ -40,6 +42,7 @@ from repro.explore.spec import SweepSpec, table1_spec, table2_spec
 from repro.flows.compare import compare_methods
 from repro.flows.synthesis import SYNTHESIS_METHODS, synthesize
 from repro.netlist.verilog import to_verilog
+from repro.opt.manager import OPT_LEVELS
 from repro.report.tables import table1_from_records, table2_from_records
 from repro.tech.default_libs import LIBRARY_NAMES, resolve_library
 from repro.timing.report import timing_report
@@ -81,6 +84,20 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_opt_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--opt",
+        type=int,
+        default=0,
+        choices=OPT_LEVELS,
+        metavar="LEVEL",
+        help=(
+            "netlist optimization level: 0 = as built (paper protocol), "
+            "1 = safe cleanups, 2 = full pipeline (always equivalence-checked)"
+        ),
+    )
+
+
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the sweep (1 = serial)"
@@ -107,8 +124,13 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         library=library,
         final_adder=args.final_adder,
         seed=args.seed,
+        opt_level=args.opt,
+        opt_validate=args.opt_validate,
     )
     print(result.summary())
+    if result.opt_report is not None:
+        print()
+        print(result.opt_report.render())
     if args.timing:
         print()
         print(timing_report(result.netlist, library, result.timing))
@@ -132,6 +154,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         library=_library(args.library),
         final_adder=args.final_adder,
         seed=args.seed,
+        opt_level=args.opt,
     )
     for method in args.methods:
         print(row.results[method].summary())
@@ -200,6 +223,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         multiplication_styles=tuple(args.multiplication_styles),
         csd_options=csd_options,
         random_probabilities=args.random_probabilities,
+        opt_levels=tuple(args.opt_levels),
         seeds=tuple(args.seeds),
     )
 
@@ -251,7 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="randomize input signal probabilities (Table 2 protocol)",
     )
+    synth.add_argument(
+        "--opt-validate",
+        action="store_true",
+        help="debug: structurally validate the netlist after every opt pass",
+    )
     _add_common_options(synth)
+    _add_opt_option(synth)
     synth.set_defaults(func=_cmd_synth)
 
     compare = sub.add_parser("compare", help="compare several methods on one design")
@@ -265,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="write all metric summaries as JSON to this file ('-' = stdout)"
     )
     _add_common_options(compare)
+    _add_opt_option(compare)
     compare.set_defaults(func=_cmd_compare)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
@@ -313,6 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--seeds", nargs="+", type=int, default=[2000],
         help="seeds for fa_random / random probabilities",
+    )
+    explore.add_argument(
+        "--opt-levels", nargs="+", type=int, default=[0], choices=OPT_LEVELS,
+        help="netlist optimization levels to sweep (0 = as built)",
     )
     explore.add_argument(
         "--json", help="write the sweep artifact (one record per point) to this file"

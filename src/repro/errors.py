@@ -36,3 +36,7 @@ class DesignError(ReproError):
 
 class ExplorationError(ReproError):
     """Problem expanding or executing a design-space exploration sweep."""
+
+
+class OptimizationError(ReproError):
+    """Problem during netlist optimization (broken rewrite, failed equivalence)."""

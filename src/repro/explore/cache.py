@@ -21,7 +21,8 @@ from typing import Dict, Optional, Union
 from repro.explore.spec import SweepPoint
 
 #: bump when the record layout or the meaning of a metric changes
-CACHE_SCHEMA_VERSION = 1
+#: (v2: points and records carry the ``opt_level`` optimization axis)
+CACHE_SCHEMA_VERSION = 2
 
 
 class ResultCache:

@@ -61,6 +61,7 @@ def execute_point(
         seed=point.seed,
         use_csd_coefficients=point.use_csd_coefficients,
         multiplication_style=point.multiplication_style,
+        opt_level=point.opt_level,
     )
 
 

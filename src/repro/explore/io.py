@@ -33,6 +33,7 @@ _POINT_COLUMNS = (
     "use_csd_coefficients",
     "random_probabilities",
     "seed",
+    "opt_level",
 )
 
 
@@ -85,14 +86,20 @@ def write_csv(sweep: SweepResult, path: Union[str, Path]) -> Path:
 
 def _records_table(records: Sequence, title: str) -> str:
     table = TextTable(
-        ["design", "method", "adder"] + [m for m in _METRIC_COLUMNS], float_digits=3
+        ["design", "method", "adder", "opt"] + [m for m in _METRIC_COLUMNS],
+        float_digits=3,
     )
     for record in records:
+        removed = record.get("opt_cells_removed")
+        opt_text = f"-O{record.get('opt_level', 0)}"
+        if removed:
+            opt_text += f" ({-removed:+d} cells)"
         table.add_row(
             [
                 record["design_name"],
                 record["method"],
                 record["final_adder"],
+                opt_text,
             ]
             + [record[m] for m in _METRIC_COLUMNS]
         )

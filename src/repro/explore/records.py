@@ -13,7 +13,7 @@ and comparison layers can import it without cycles.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 
 @dataclass
@@ -33,6 +33,9 @@ class PointMetrics:
     fa_count: int
     ha_count: int
     max_final_arrival: float
+    opt_level: int = 0
+    pre_opt_cell_count: Optional[int] = None
+    opt_cells_removed: Optional[int] = None
     notes: List[str] = field(default_factory=list)
 
     @classmethod
@@ -52,6 +55,17 @@ class PointMetrics:
             fa_count=int(data["fa_count"]),
             ha_count=int(data["ha_count"]),
             max_final_arrival=float(data["max_final_arrival"]),
+            opt_level=int(data.get("opt_level", 0) or 0),
+            pre_opt_cell_count=(
+                int(data["pre_opt_cell_count"])
+                if data.get("pre_opt_cell_count") is not None
+                else None
+            ),
+            opt_cells_removed=(
+                int(data["opt_cells_removed"])
+                if data.get("opt_cells_removed") is not None
+                else None
+            ),
             notes=list(data.get("notes", ())),
         )
 

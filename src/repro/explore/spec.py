@@ -2,7 +2,8 @@
 
 A :class:`SweepPoint` names one fully-determined synthesis run (design,
 allocation method, final adder, library, partial-product style, CSD option,
-probability protocol, seed) with only plain, hashable, picklable values —
+probability protocol, seed, netlist optimization level) with only plain,
+hashable, picklable values —
 worker processes and the on-disk cache both key off it.  A
 :class:`SweepSpec` describes a cartesian grid over those axes plus optional
 constraint filters and expands to a list of points.
@@ -36,6 +37,7 @@ _POINT_FIELDS = (
     "use_csd_coefficients",
     "random_probabilities",
     "seed",
+    "opt_level",
 )
 
 
@@ -56,6 +58,8 @@ class SweepPoint:
     random_probabilities: bool = False
     #: ``None`` requests an unseeded (nondeterministic) ``fa_random`` draw
     seed: Optional[int] = 2000
+    #: post-construction netlist optimization level (``repro.opt``)
+    opt_level: int = 0
 
     def canonical(self) -> "SweepPoint":
         """Normalized copy with don't-care axes reset.
@@ -105,6 +109,8 @@ class SweepPoint:
             parts.append("csd")
         if self.random_probabilities:
             parts.append(f"randp{self.seed}")
+        if self.opt_level:
+            parts.append(f"O{self.opt_level}")
         return "/".join(parts)
 
 
@@ -117,9 +123,9 @@ class SweepSpec:
     """A cartesian grid of sweep points with optional constraint filters.
 
     ``expand()`` produces the full design x method x final-adder x library x
-    multiplication-style x CSD x seed product (designs outermost, seeds
-    innermost), canonicalizes each point, drops duplicates, validates the
-    axis values and applies every constraint in order.
+    multiplication-style x CSD x opt-level x seed product (designs
+    outermost, seeds innermost), canonicalizes each point, drops duplicates,
+    validates the axis values and applies every constraint in order.
     """
 
     designs: Sequence[str]
@@ -129,6 +135,7 @@ class SweepSpec:
     multiplication_styles: Sequence[str] = ("and_array",)
     csd_options: Sequence[bool] = (False,)
     random_probabilities: bool = False
+    opt_levels: Sequence[int] = (0,)
     seeds: Sequence[int] = (2000,)
     constraints: Sequence[Constraint] = field(default_factory=tuple)
 
@@ -136,6 +143,7 @@ class SweepSpec:
         from repro.adders.factory import FINAL_ADDER_KINDS
         from repro.designs.registry import list_designs
         from repro.flows.synthesis import SYNTHESIS_METHODS
+        from repro.opt.manager import OPT_LEVELS
         from repro.tech.default_libs import LIBRARY_NAMES
 
         def check(axis: str, values: Sequence, allowed: Sequence) -> None:
@@ -156,6 +164,7 @@ class SweepSpec:
             self.multiplication_styles,
             ("and_array", "booth"),
         )
+        check("opt level(s)", self.opt_levels, OPT_LEVELS)
 
     def expand(self) -> List[SweepPoint]:
         """Expand the grid into a deduplicated, constraint-filtered point list."""
@@ -170,9 +179,10 @@ class SweepSpec:
             self.libraries,
             self.multiplication_styles,
             self.csd_options,
+            self.opt_levels,
             self.seeds,
         )
-        for design, method, final_adder, library, style, csd, seed in grid:
+        for design, method, final_adder, library, style, csd, opt_level, seed in grid:
             point = SweepPoint(
                 design=design,
                 method=method,
@@ -182,6 +192,7 @@ class SweepSpec:
                 use_csd_coefficients=csd,
                 random_probabilities=self.random_probabilities,
                 seed=seed,
+                opt_level=opt_level,
             ).canonical()
             if point.key() in seen:
                 continue
@@ -200,6 +211,7 @@ class SweepSpec:
             * len(self.libraries)
             * len(self.multiplication_styles)
             * len(self.csd_options)
+            * len(self.opt_levels)
             * len(self.seeds)
         )
 

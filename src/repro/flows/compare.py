@@ -67,6 +67,7 @@ def compare_methods(
     library: Optional[TechLibrary] = None,
     final_adder: str = "cla",
     seed: Optional[int] = 2000,
+    opt_level: int = 0,
 ) -> ComparisonRow:
     """Synthesize ``design`` with every method and collect the full results.
 
@@ -85,6 +86,7 @@ def compare_methods(
             final_adder=final_adder,
             library=library.name if library is not None else "generic_035",
             seed=seed,
+            opt_level=opt_level,
         )
         row.results[method] = execute_point(point, design=design, library=library)
     return row

@@ -38,6 +38,8 @@ from repro.errors import DesignError
 from repro.netlist.cells import CellType
 from repro.netlist.core import Bus, Netlist
 from repro.netlist.stats import NetlistStats, netlist_stats
+from repro.opt.manager import OPT_LEVELS, optimize_netlist
+from repro.opt.report import OptReport
 from repro.power.probability import ProbabilityResult, propagate_probabilities
 from repro.power.switching import PowerResult, estimate_power
 from repro.tech.default_libs import generic_035
@@ -85,14 +87,20 @@ class SynthesisResult:
     compression: Optional[CompressionResult] = None
     matrix_build: Optional[MatrixBuildResult] = None
     notes: List[str] = field(default_factory=list)
+    opt_level: int = 0
+    opt_report: Optional[OptReport] = None
+    pre_opt_stats: Optional[NetlistStats] = None
 
     def summary(self) -> str:
         """One-line result summary."""
-        return (
+        text = (
             f"{self.design_name:<18} {self.method:<16} delay={self.delay_ns:6.3f} ns  "
             f"area={self.area:9.1f}  E_tree={self.tree_energy:9.3f}  "
             f"cells={self.cell_count:5d} (FA={self.fa_count}, HA={self.ha_count})"
         )
+        if self.opt_level:
+            text += f"  -O{self.opt_level}"
+        return text
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-able metric summary (no netlist, no analysis internals).
@@ -115,6 +123,13 @@ class SynthesisResult:
             "fa_count": self.fa_count,
             "ha_count": self.ha_count,
             "max_final_arrival": self.max_final_arrival,
+            "opt_level": self.opt_level,
+            "pre_opt_cell_count": (
+                self.pre_opt_stats.num_cells if self.pre_opt_stats is not None else None
+            ),
+            "opt_cells_removed": (
+                self.opt_report.cells_removed if self.opt_report is not None else None
+            ),
             "notes": list(self.notes),
         }
 
@@ -155,6 +170,8 @@ def synthesize(
     use_csd_coefficients: bool = False,
     multiplication_style: str = "and_array",
     fold_square_products: bool = False,
+    opt_level: int = 0,
+    opt_validate: bool = False,
 ) -> SynthesisResult:
     """Synthesize ``design`` with the chosen method and analyse the result.
 
@@ -181,10 +198,25 @@ def synthesize(
     fold_square_products:
         Enable the squarer optimization (fold symmetric partial products of
         ``x*x`` terms); an extension beyond the paper, off by default.
+    opt_level:
+        Post-construction netlist optimization level (one of
+        :data:`repro.opt.OPT_LEVELS`): 0 leaves the netlist exactly as built
+        (the paper's protocol), 1 runs safe cleanups (constant folding,
+        BUF/NOT cleanup, dead-cell elimination), 2 runs the full pipeline
+        (plus FA/HA strength reduction and structural hashing).  Optimized
+        netlists are always equivalence-checked against the as-built
+        original before analysis.
+    opt_validate:
+        Debug mode: structurally validate the netlist after every
+        optimization pass.
     """
     if method not in SYNTHESIS_METHODS:
         raise DesignError(
             f"unknown synthesis method {method!r}; expected one of {SYNTHESIS_METHODS}"
+        )
+    if opt_level not in OPT_LEVELS:
+        raise DesignError(
+            f"unknown opt level {opt_level!r}; expected one of {OPT_LEVELS}"
         )
     if final_adder not in FINAL_ADDER_KINDS:
         raise DesignError(
@@ -246,6 +278,26 @@ def synthesize(
         ha_count = compression.ha_count
         max_final_arrival = compression.max_final_arrival
 
+    pre_opt_stats: Optional[NetlistStats] = None
+    opt_report: Optional[OptReport] = None
+    if opt_level > 0:
+        opt_report = optimize_netlist(
+            netlist,
+            opt_level=opt_level,
+            library=library,
+            validate=opt_validate,
+            check_equivalence=True,
+        )
+        pre_opt_stats = opt_report.before
+        # the counts below must describe the netlist the analyses see
+        fa_count = len(netlist.cells_of_type(CellType.FA))
+        ha_count = len(netlist.cells_of_type(CellType.HA))
+        notes.append(
+            f"-O{opt_level}: {opt_report.cells_removed} of "
+            f"{pre_opt_stats.num_cells} cells removed in "
+            f"{opt_report.iterations} iteration(s)"
+        )
+
     timing = compute_arrival_times(netlist, library)
     probabilities = propagate_probabilities(netlist)
     power = estimate_power(netlist, library, probabilities, power_model)
@@ -274,4 +326,7 @@ def synthesize(
         compression=compression,
         matrix_build=matrix_build,
         notes=notes,
+        opt_level=opt_level,
+        opt_report=opt_report,
+        pre_opt_stats=pre_opt_stats,
     )

@@ -15,6 +15,7 @@ from repro.netlist.cells import (
     is_combinational,
 )
 from repro.netlist.core import Bus, Cell, Net, Netlist
+from repro.netlist.serialize import netlist_from_dict, netlist_to_dict
 from repro.netlist.stats import NetlistStats, netlist_stats
 from repro.netlist.validate import validate_netlist
 from repro.netlist.verilog import to_verilog
@@ -31,6 +32,8 @@ __all__ = [
     "Netlist",
     "NetlistStats",
     "netlist_stats",
+    "netlist_from_dict",
+    "netlist_to_dict",
     "validate_netlist",
     "to_verilog",
 ]

@@ -51,6 +51,11 @@ class Net:
         return self.const_value is not None
 
     @property
+    def fanout(self) -> int:
+        """Number of cell input ports reading this net."""
+        return len(self.loads)
+
+    @property
     def driver_cell(self) -> Optional["Cell"]:
         """The cell driving this net, or ``None``."""
         return self.driver[0] if self.driver else None
@@ -137,6 +142,7 @@ class Netlist:
         self._net_counter = 0
         self._cell_counter = 0
         self._const_nets: Dict[int, Net] = {}
+        self._output_names: set = set()
 
     # ------------------------------------------------------------------ views
     @property
@@ -231,11 +237,15 @@ class Netlist:
         inputs: Mapping[str, Net],
         name: Optional[str] = None,
         output_prefix: Optional[str] = None,
+        outputs: Optional[Mapping[str, Net]] = None,
     ) -> Cell:
         """Instantiate a cell, creating one fresh net per output port.
 
         ``inputs`` must bind every input port of the cell type to a net that
-        already belongs to this netlist.
+        already belongs to this netlist.  ``outputs`` may bind some (or all)
+        output ports to *existing driverless* nets instead of fresh ones —
+        the optimization passes use this to re-drive a primary-output net
+        after its original driver has been removed.
         """
         expected = cell_input_ports(cell_type)
         missing = [p for p in expected if p not in inputs]
@@ -250,6 +260,28 @@ class Netlist:
                     f"net {net.name!r} bound to port {port!r} does not belong to "
                     f"netlist {self.name!r}"
                 )
+        bound_outputs = dict(outputs or {})
+        if len({id(net) for net in bound_outputs.values()}) != len(bound_outputs):
+            raise NetlistError(
+                f"the same net is bound to multiple output ports of {cell_type}"
+            )
+        for port, net in bound_outputs.items():
+            if port not in cell_output_ports(cell_type):
+                raise NetlistError(f"{cell_type} has no output port {port!r}")
+            if self._nets.get(net.name) is not net:
+                raise NetlistError(
+                    f"net {net.name!r} bound to output {port!r} does not belong to "
+                    f"netlist {self.name!r}"
+                )
+            if net.driver is not None:
+                raise NetlistError(
+                    f"net {net.name!r} is already driven by {net.driver[0].name!r}"
+                )
+            if net.is_primary_input or net.is_constant:
+                raise NetlistError(
+                    f"net {net.name!r} is a primary input/constant and cannot be "
+                    f"a cell output"
+                )
 
         if name is None:
             name = self._unique_cell_name(f"{cell_type.value.lower()}_")
@@ -257,17 +289,112 @@ class Netlist:
             raise NetlistError(f"cell name {name!r} already exists in netlist {self.name!r}")
 
         prefix = output_prefix or f"{name}_"
-        outputs = {
-            port: self.add_net(prefix=f"{prefix}{port}_")
+        all_outputs = {
+            port: bound_outputs.get(port) or self.add_net(prefix=f"{prefix}{port}_")
             for port in cell_output_ports(cell_type)
         }
-        cell = Cell(name, cell_type, inputs, outputs)
+        cell = Cell(name, cell_type, inputs, all_outputs)
         self._cells[name] = cell
         for port, net in inputs.items():
             net.loads.append((cell, port))
-        for port, net in outputs.items():
+        for port, net in all_outputs.items():
             net.driver = (cell, port)
         return cell
+
+    # ------------------------------------------------------------- mutation
+    def remove_net(self, net: Net) -> None:
+        """Delete a fully disconnected internal net.
+
+        The net must belong to the netlist and have no driver, no loads and
+        no primary-input/output/constant role.
+        """
+        if self._nets.get(net.name) is not net:
+            raise NetlistError(f"net {net.name!r} does not belong to netlist {self.name!r}")
+        if net.driver is not None:
+            raise NetlistError(f"cannot remove driven net {net.name!r}")
+        if net.loads:
+            raise NetlistError(
+                f"cannot remove net {net.name!r} with {len(net.loads)} loads"
+            )
+        if net.is_primary_input or net.is_constant or net.name in self._output_names:
+            raise NetlistError(f"cannot remove primary/constant net {net.name!r}")
+        del self._nets[net.name]
+
+    def remove_cell(self, cell: Cell, keep_output_nets: bool = False) -> None:
+        """Delete a cell whose outputs are no longer read.
+
+        Every output net must be load-free (use :meth:`replace_net_uses`
+        first).  Output nets that end up fully disconnected are removed too,
+        unless ``keep_output_nets`` is set or the net is a primary output —
+        re-drive such nets with :meth:`add_cell` ``outputs=`` bindings.
+        Input nets are never removed, only unlinked.
+        """
+        if self._cells.get(cell.name) is not cell:
+            raise NetlistError(f"cell {cell.name!r} does not belong to netlist {self.name!r}")
+        loaded = [net.name for net in cell.outputs.values() if net.loads]
+        if loaded:
+            raise NetlistError(
+                f"cannot remove cell {cell.name!r}: outputs {loaded} still have loads"
+            )
+        for port, net in cell.inputs.items():
+            net.loads = [entry for entry in net.loads if entry != (cell, port)]
+        output_names = set()
+        for net in cell.outputs.values():
+            net.driver = None
+            output_names.add(net.name)
+        del self._cells[cell.name]
+        if not keep_output_nets:
+            for name in output_names:
+                net = self._nets.get(name)
+                if net is not None:
+                    self.discard_net_if_disconnected(net)
+
+    def replace_net_uses(self, old: Net, new: Net) -> int:
+        """Rewire every cell input reading ``old`` to read ``new`` instead.
+
+        Primary-output membership is *not* transferred: a primary-output net
+        keeps its identity, so a pass that removes its driver must re-drive
+        it (typically with a ``BUF``) via ``add_cell(..., outputs=...)``.
+        Returns the number of rewired cell input ports.
+        """
+        if self._nets.get(old.name) is not old:
+            raise NetlistError(f"net {old.name!r} does not belong to netlist {self.name!r}")
+        if self._nets.get(new.name) is not new:
+            raise NetlistError(f"net {new.name!r} does not belong to netlist {self.name!r}")
+        if old is new:
+            return 0
+        moved = 0
+        for cell, port in list(old.loads):
+            cell.inputs[port] = new
+            new.loads.append((cell, port))
+            moved += 1
+        old.loads = []
+        return moved
+
+    def is_primary_output(self, net: Net) -> bool:
+        """True when ``net`` is registered as a primary output (O(1))."""
+        return net.name in self._output_names and self._nets.get(net.name) is net
+
+    def discard_net_if_disconnected(self, net: Net) -> bool:
+        """Remove ``net`` when it is fully disconnected and role-free.
+
+        Returns True when the net was removed; nets with a driver, loads or
+        an interface role (primary input/output, constant) are left alone.
+        This is the lenient counterpart of the strict :meth:`remove_net`
+        and the single definition of "safe to sweep" shared by cell removal
+        and dead-net elimination.
+        """
+        if (
+            self._nets.get(net.name) is net
+            and net.driver is None
+            and not net.loads
+            and not net.is_primary_input
+            and not net.is_constant
+            and net.name not in self._output_names
+        ):
+            del self._nets[net.name]
+            return True
+        return False
 
     # ---------------------------------------------------------------- outputs
     def set_output(self, net: Net) -> None:
@@ -276,6 +403,7 @@ class Netlist:
             raise NetlistError(f"net {net.name!r} does not belong to netlist {self.name!r}")
         if net not in self._outputs:
             self._outputs.append(net)
+        self._output_names.add(net.name)
 
     def set_output_bus(self, bus: Bus, name: Optional[str] = None) -> Bus:
         """Register a bus as the (or an) output word of the netlist."""
@@ -334,6 +462,26 @@ class Netlist:
             seen[cell.name] = cell
             frontier.extend(cell.inputs.values())
         return list(seen.values())
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able structural snapshot (see :mod:`repro.netlist.serialize`)."""
+        from repro.netlist.serialize import netlist_to_dict
+
+        return netlist_to_dict(self)
+
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Deep structural copy via the dict round-trip.
+
+        The optimizer snapshots the pre-optimization netlist this way so the
+        original graph stays available for equivalence checking.
+        """
+        from repro.netlist.serialize import netlist_from_dict
+
+        duplicate = netlist_from_dict(self.to_dict())
+        if name is not None:
+            duplicate.name = name
+        return duplicate
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -7,7 +7,7 @@ handing a netlist to the simulator or the Verilog emitter.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.errors import NetlistError
 from repro.netlist.cells import cell_input_ports, cell_output_ports
@@ -22,6 +22,10 @@ def validate_netlist(netlist: Netlist, allow_dangling: bool = True) -> List[str]
 
     * every cell port is bound to a net owned by the netlist;
     * every non-constant, non-input net has exactly one driver;
+    * no net is driven by more than one cell output (multiply-driven) and no
+      net with readers floats without any actual driving cell, counted from
+      the cell output bindings themselves rather than the (mutable)
+      ``net.driver`` back-pointers;
     * load lists are consistent with cell input bindings;
     * the cell graph is acyclic (checked via topological sort).
 
@@ -31,6 +35,30 @@ def validate_netlist(netlist: Netlist, allow_dangling: bool = True) -> List[str]
     the output width truncates the matrix).
     """
     warnings: List[str] = []
+
+    # Count drivers from the cell output bindings themselves, before the
+    # back-pointer consistency checks below: a multiply-driven net would
+    # otherwise surface as a confusing "driver does not point back" error,
+    # and a stale ``net.driver`` pointer (left behind by a buggy mutation)
+    # would hide a floating net entirely.
+    driving: Dict[str, List[Tuple[str, str]]] = {}
+    for cell in netlist.cells.values():
+        for port, net in cell.outputs.items():
+            driving.setdefault(net.name, []).append((cell.name, port))
+    for net_name, drivers in driving.items():
+        if len(drivers) > 1:
+            pairs = ", ".join(f"{c}.{p}" for c, p in sorted(drivers))
+            raise NetlistError(f"net {net_name!r} is multiply-driven by {pairs}")
+    for net in netlist.nets.values():
+        if (
+            net.name not in driving
+            and not net.is_primary_input
+            and not net.is_constant
+        ):
+            raise NetlistError(
+                f"net {net.name!r} is floating: no cell output drives it and it "
+                f"is not a primary input or constant"
+            )
 
     for cell in netlist.cells.values():
         for port in cell_input_ports(cell.cell_type):
@@ -61,8 +89,6 @@ def validate_netlist(netlist: Netlist, allow_dangling: bool = True) -> List[str]
             raise NetlistError(f"primary input {net.name!r} is also driven by a cell")
         if net.is_constant and has_driver:
             raise NetlistError(f"constant net {net.name!r} is driven by a cell")
-        if not net.is_primary_input and not net.is_constant and not has_driver:
-            raise NetlistError(f"net {net.name!r} has no driver and is not an input/constant")
         if not net.loads and net.name not in primary_outputs and not net.is_constant:
             message = f"net {net.name!r} has no loads and is not a primary output"
             if allow_dangling:

@@ -1,0 +1,48 @@
+"""Netlist optimization subsystem.
+
+A :class:`~repro.opt.manager.PassManager` runs an ordered, fixpoint-iterated
+pipeline of rewrite passes over a :class:`~repro.netlist.core.Netlist`:
+
+* :class:`~repro.opt.constant_fold.ConstantFoldPass` — constant folding and
+  propagation through every cell type;
+* :class:`~repro.opt.strength.StrengthReductionPass` — FA/HA strength
+  reduction (an FA with a constant-0 carry-in becomes an HA, ...);
+* :class:`~repro.opt.cleanup.CleanupPass` — BUF chain collapsing and
+  double-NOT cancellation;
+* :class:`~repro.opt.cse.CommonSubexpressionPass` — structural hashing;
+* :class:`~repro.opt.dce.DeadCellEliminationPass` — dead cell/net removal
+  from the primary outputs.
+
+Every run can be equivalence-checked against the pre-optimization netlist
+(bit-parallel, exhaustive for small input widths) and structurally validated
+after every pass.  The synthesis flow exposes the pipeline as ``-O`` levels
+(``opt_level`` 0/1/2) and ``repro.explore`` sweeps over them.
+"""
+
+from repro.opt.base import RewritePass, retire_cell
+from repro.opt.cleanup import CleanupPass
+from repro.opt.constant_fold import ConstantFoldPass
+from repro.opt.cse import CommonSubexpressionPass
+from repro.opt.dce import DeadCellEliminationPass
+from repro.opt.equivalence import NetlistEquivalenceReport, check_netlists_equivalent
+from repro.opt.manager import OPT_LEVELS, PassManager, default_pipeline, optimize_netlist
+from repro.opt.report import OptReport, PassStat
+from repro.opt.strength import StrengthReductionPass
+
+__all__ = [
+    "OPT_LEVELS",
+    "CleanupPass",
+    "CommonSubexpressionPass",
+    "ConstantFoldPass",
+    "DeadCellEliminationPass",
+    "NetlistEquivalenceReport",
+    "OptReport",
+    "PassManager",
+    "PassStat",
+    "RewritePass",
+    "StrengthReductionPass",
+    "check_netlists_equivalent",
+    "default_pipeline",
+    "optimize_netlist",
+    "retire_cell",
+]

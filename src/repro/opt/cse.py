@@ -1,0 +1,73 @@
+"""Structural hashing / common-subexpression merging.
+
+Two cells of the same type reading the same input nets compute the same
+outputs, so one of them is redundant.  The pass sweeps the netlist in
+topological order keeping a hash table of canonical cell signatures; every
+later duplicate is retired in favour of the first occurrence.  Because
+merges rewire fanout *before* downstream cells are visited, one sweep merges
+whole equivalent cones, not just single cells.
+
+Signatures are canonicalized for commutativity: the two-input gates, HA and
+FA (symmetric in all three inputs) sort their input nets, AOI21 sorts its
+AND-side pair, and MUX2 is order-sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.netlist.cells import CellType, cell_input_ports, cell_output_ports
+from repro.netlist.core import Cell, Netlist
+from repro.opt.base import RewritePass, retire_cell
+
+#: cell types whose inputs are fully interchangeable
+_COMMUTATIVE = frozenset(
+    {
+        CellType.AND2,
+        CellType.NAND2,
+        CellType.OR2,
+        CellType.NOR2,
+        CellType.XOR2,
+        CellType.XNOR2,
+        CellType.HA,
+        CellType.FA,
+    }
+)
+
+
+def _signature(cell: Cell) -> Tuple:
+    """Canonical structural signature of a cell (type + input net names)."""
+    names = [cell.inputs[p].name for p in cell_input_ports(cell.cell_type)]
+    if cell.cell_type in _COMMUTATIVE:
+        names = sorted(names)
+    elif cell.cell_type is CellType.AOI21:
+        names = sorted(names[:2]) + names[2:]
+    return (cell.cell_type.value, tuple(names))
+
+
+class CommonSubexpressionPass(RewritePass):
+    """Merge structurally identical cells onto a single instance."""
+
+    name = "cse"
+
+    def run(self, netlist: Netlist) -> int:
+        changed = 0
+        table: Dict[Tuple, Cell] = {}
+        for cell in netlist.topological_cells():
+            if cell.cell_type is CellType.BUF:
+                # BUFs are either primary-output anchors (must stay put) or
+                # transparent wires the cleanup pass removes; merging them
+                # only churns the anchor structure.
+                continue
+            signature = _signature(cell)
+            original = table.get(signature)
+            if original is None:
+                table[signature] = cell
+                continue
+            replacements = {
+                port: original.outputs[port]
+                for port in cell_output_ports(cell.cell_type)
+            }
+            retire_cell(netlist, cell, replacements)
+            changed += 1
+        return changed

@@ -239,6 +239,13 @@ def evaluate_vectors(
     values: Dict[str, int] = {
         name: int.from_bytes(bits, "little") for name, bits in input_bits.items()
     }
+    return _evaluate_packed_values(netlist, values, mask, count)
+
+
+def _evaluate_packed_values(
+    netlist: Netlist, values: Dict[str, int], mask: int, count: int
+) -> BatchValues:
+    """Shared bit-parallel cell sweep over already-packed input words."""
     for net in netlist.nets.values():
         if net.is_constant:
             values[net.name] = mask if int(net.const_value or 0) else 0
@@ -256,3 +263,32 @@ def evaluate_vectors(
         ).items():
             values[cell.outputs[port].name] = packed
     return BatchValues(values=values, count=count)
+
+
+def evaluate_packed(
+    netlist: Netlist, inputs: Mapping[str, int], count: int
+) -> BatchValues:
+    """Evaluate ``count`` vectors given as already-packed per-input words.
+
+    ``inputs`` maps every primary-input net name to one integer whose bit
+    ``k`` is that input's value in vector ``k`` — the same packing
+    :func:`evaluate_vectors` builds internally from per-vector dicts.
+    Callers that can construct the packed words directly (the netlist
+    equivalence checker enumerating exhaustive input patterns, for
+    instance) skip the whole per-vector dict round-trip.
+    """
+    if count == 0:
+        return BatchValues(values={}, count=0)
+    mask = (1 << count) - 1
+    values: Dict[str, int] = {}
+    for name, word in inputs.items():
+        net = netlist.nets.get(name)
+        if net is None or not net.is_primary_input:
+            raise SimulationError(f"unknown primary input {name!r}")
+        values[name] = word & mask
+    missing = [net.name for net in netlist.primary_inputs if net.name not in values]
+    if missing:
+        raise SimulationError(
+            f"missing values for {len(missing)} primary inputs (e.g. {missing[:5]})"
+        )
+    return _evaluate_packed_values(netlist, values, mask, count)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -74,3 +76,39 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Table 2" in out
+
+
+class TestOptFlags:
+    def test_synth_with_opt(self, capsys):
+        assert main(["synth", "--design", "x2", "--opt", "2", "--opt-validate"]) == 0
+        out = capsys.readouterr().out
+        assert "-O2" in out
+        assert "Optimization pipeline" in out
+        assert "equivalence: ok" in out
+
+    def test_synth_opt_json_records_level(self, capsys):
+        assert main(["synth", "--design", "x2", "--opt", "1", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["opt_level"] == 1
+        assert payload["pre_opt_cell_count"] >= payload["cell_count"]
+
+    def test_synth_rejects_bad_opt_level(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "--design", "x2", "--opt", "5"])
+
+    def test_compare_with_opt(self, capsys):
+        code = main(
+            ["compare", "--design", "x2", "--methods", "fa_aot", "--opt", "2"]
+        )
+        assert code == 0
+        assert "-O2" in capsys.readouterr().out
+
+    def test_explore_opt_levels_axis(self, capsys):
+        code = main(
+            ["explore", "--designs", "x2", "--methods", "fa_aot",
+             "--opt-levels", "0", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-O0" in out and "-O2" in out

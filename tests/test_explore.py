@@ -37,6 +37,9 @@ def _record(design="d", method="m", delay=1.0, area=1.0, energy=1.0):
         "fa_count": 4,
         "ha_count": 1,
         "max_final_arrival": delay,
+        "opt_level": 0,
+        "pre_opt_cell_count": None,
+        "opt_cells_removed": None,
         "notes": [],
     }
 
@@ -347,3 +350,37 @@ class TestExploreCli:
         payload = json.loads(out[out.index("{"):])
         assert payload["design"] == "x2"
         assert payload["results"][0]["method"] == "fa_aot"
+
+
+class TestOptAxis:
+    def test_opt_levels_expand_and_label(self):
+        spec = SweepSpec(designs=("x2",), methods=("fa_aot",), opt_levels=(0, 2))
+        points = spec.expand()
+        assert [p.opt_level for p in points] == [0, 2]
+        assert points[0].label() == "x2/fa_aot/cla"
+        assert points[1].label().endswith("/O2")
+
+    def test_opt_level_distinguishes_cache_keys(self):
+        base = SweepPoint(design="x2")
+        optimized = SweepPoint(design="x2", opt_level=2)
+        assert base.key() != optimized.key()
+        assert base.digest() != optimized.digest()
+        assert SweepPoint.from_dict(optimized.to_dict()) == optimized
+
+    def test_unknown_opt_level_rejected(self):
+        spec = SweepSpec(designs=("x2",), opt_levels=(9,))
+        with pytest.raises(ExplorationError):
+            spec.expand()
+
+    def test_sweep_runs_optimized_points(self, tmp_path):
+        spec = SweepSpec(designs=("x2",), methods=("fa_aot",), opt_levels=(0, 2))
+        sweep = run_sweep(spec, cache=tmp_path / "cache")
+        assert sweep.ok
+        plain, optimized = sweep.records
+        assert plain["opt_level"] == 0 and optimized["opt_level"] == 2
+        assert optimized["cell_count"] < plain["cell_count"]
+        assert optimized["opt_cells_removed"] > 0
+        # cached re-run round-trips the opt metrics
+        again = run_sweep(spec, cache=tmp_path / "cache")
+        assert again.cache_hits == 2
+        assert again.records == sweep.records

@@ -134,3 +134,60 @@ class TestCompare:
     def test_matrix_methods_subset(self):
         assert set(MATRIX_METHODS) < set(SYNTHESIS_METHODS)
         assert "conventional" in SYNTHESIS_METHODS
+
+
+class TestOptimizedSynthesis:
+    @pytest.mark.parametrize("opt_level", [1, 2])
+    @pytest.mark.parametrize("method", ["fa_aot", "conventional", "wallace"])
+    def test_optimized_flows_stay_equivalent(self, small_design, method, opt_level):
+        result = synthesize(small_design, method=method, opt_level=opt_level)
+        assert result.opt_level == opt_level
+        assert result.opt_report is not None
+        assert result.opt_report.equivalence is not None
+        assert result.opt_report.equivalence.equivalent
+        check_equivalence(
+            result.netlist,
+            result.output_bus,
+            small_design.expression,
+            small_design.signals,
+            output_width=small_design.output_width,
+        ).assert_ok()
+
+    def test_opt_level_two_reduces_cells(self, small_design):
+        baseline = synthesize(small_design, method="fa_aot")
+        optimized = synthesize(small_design, method="fa_aot", opt_level=2)
+        assert optimized.cell_count < baseline.cell_count
+        assert optimized.area < baseline.area
+        assert optimized.pre_opt_stats is not None
+        assert optimized.pre_opt_stats.num_cells == baseline.cell_count
+        assert optimized.opt_report.cells_removed == (
+            baseline.cell_count - optimized.cell_count
+        )
+
+    def test_opt_level_zero_matches_legacy(self, small_design):
+        legacy = synthesize(small_design, method="fa_aot")
+        assert legacy.opt_level == 0
+        assert legacy.opt_report is None
+        assert legacy.pre_opt_stats is None
+        record = legacy.to_dict()
+        assert record["opt_level"] == 0
+        assert record["pre_opt_cell_count"] is None
+
+    def test_metrics_describe_optimized_netlist(self, small_design):
+        result = synthesize(small_design, method="fa_aot", opt_level=2)
+        assert result.cell_count == len(result.netlist.cells)
+        from repro.netlist.cells import CellType
+
+        assert result.fa_count == len(result.netlist.cells_of_type(CellType.FA))
+        assert result.ha_count == len(result.netlist.cells_of_type(CellType.HA))
+        assert any(note.startswith("-O2") for note in result.notes)
+        record = result.to_dict()
+        assert record["opt_cells_removed"] == result.opt_report.cells_removed
+
+    def test_unknown_opt_level_rejected(self, small_design):
+        with pytest.raises(DesignError):
+            synthesize(small_design, opt_level=7)
+
+    def test_compare_with_opt_level(self, small_design):
+        row = compare_methods(small_design, ["fa_aot"], opt_level=2)
+        assert row.results["fa_aot"].opt_level == 2

@@ -1,0 +1,130 @@
+"""Tests for the netlist mutation API (remove / replace / rebind)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+from repro.netlist.validate import validate_netlist
+
+
+def _and_pair():
+    """a & b feeding a NOT, NOT output is the primary output."""
+    netlist = Netlist("mut")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    g = netlist.add_cell(CellType.AND2, {"a": a, "b": b}, name="g")
+    n = netlist.add_cell(CellType.NOT, {"a": g.outputs["y"]}, name="n")
+    netlist.set_output(n.outputs["y"])
+    return netlist, a, b, g, n
+
+
+class TestReplaceNetUses:
+    def test_moves_all_loads(self):
+        netlist, a, b, g, n = _and_pair()
+        moved = netlist.replace_net_uses(g.outputs["y"], a)
+        assert moved == 1
+        assert n.inputs["a"] is a
+        assert g.outputs["y"].loads == []
+        assert (n, "a") in a.loads
+
+    def test_replace_with_self_is_noop(self):
+        netlist, a, b, g, n = _and_pair()
+        assert netlist.replace_net_uses(a, a) == 0
+        assert n.inputs["a"] is g.outputs["y"]
+
+    def test_foreign_net_rejected(self):
+        netlist, a, *_ = _and_pair()
+        other = Netlist("other").add_net("x")
+        with pytest.raises(NetlistError):
+            netlist.replace_net_uses(a, other)
+
+    def test_keeps_primary_output_membership(self):
+        netlist, a, b, g, n = _and_pair()
+        po = n.outputs["y"]
+        netlist.replace_net_uses(po, a)
+        assert netlist.is_primary_output(po)
+        assert not netlist.is_primary_output(a)
+
+
+class TestRemoveCell:
+    def test_remove_unloaded_cell_and_its_nets(self):
+        netlist, a, b, g, n = _and_pair()
+        netlist.replace_net_uses(g.outputs["y"], a)
+        dangling = g.outputs["y"].name
+        netlist.remove_cell(g)
+        assert "g" not in netlist.cells
+        assert dangling not in netlist.nets
+        # input loads are unlinked
+        assert all(cell is not g for cell, _ in a.loads)
+        validate_netlist(netlist)
+
+    def test_refuses_loaded_outputs(self):
+        netlist, a, b, g, n = _and_pair()
+        with pytest.raises(NetlistError):
+            netlist.remove_cell(g)
+
+    def test_keep_output_nets(self):
+        netlist, a, b, g, n = _and_pair()
+        netlist.replace_net_uses(g.outputs["y"], a)
+        kept = g.outputs["y"]
+        netlist.remove_cell(g, keep_output_nets=True)
+        assert kept.name in netlist.nets
+        assert kept.driver is None
+
+    def test_primary_output_net_survives(self):
+        netlist, a, b, g, n = _and_pair()
+        po = n.outputs["y"]
+        netlist.remove_cell(n)
+        assert po.name in netlist.nets
+        assert po.driver is None
+
+    def test_foreign_cell_rejected(self):
+        netlist, a, b, g, n = _and_pair()
+        other, *_ = _and_pair()
+        with pytest.raises(NetlistError):
+            netlist.remove_cell(other.cells["g"])
+
+
+class TestRemoveNet:
+    def test_remove_disconnected_net(self):
+        netlist = Netlist("nets")
+        stray = netlist.add_net("stray")
+        netlist.remove_net(stray)
+        assert "stray" not in netlist.nets
+
+    def test_refuses_driven_loaded_or_interface_nets(self):
+        netlist, a, b, g, n = _and_pair()
+        with pytest.raises(NetlistError):
+            netlist.remove_net(a)  # primary input (and loaded)
+        with pytest.raises(NetlistError):
+            netlist.remove_net(g.outputs["y"])  # driven
+        with pytest.raises(NetlistError):
+            netlist.remove_net(netlist.const(0))  # constant
+
+
+class TestOutputRebinding:
+    def test_add_cell_binds_existing_net(self):
+        netlist, a, b, g, n = _and_pair()
+        po = n.outputs["y"]
+        netlist.remove_cell(n)
+        buf = netlist.add_cell(CellType.BUF, {"a": a}, outputs={"y": po})
+        assert po.driver == (buf, "y")
+        validate_netlist(netlist)
+
+    def test_rejects_driven_or_input_or_unknown_port(self):
+        netlist, a, b, g, n = _and_pair()
+        with pytest.raises(NetlistError):
+            netlist.add_cell(CellType.BUF, {"a": a}, outputs={"y": g.outputs["y"]})
+        with pytest.raises(NetlistError):
+            netlist.add_cell(CellType.BUF, {"a": a}, outputs={"y": b})
+        po = n.outputs["y"]
+        netlist.remove_cell(n)
+        with pytest.raises(NetlistError):
+            netlist.add_cell(CellType.BUF, {"a": a}, outputs={"bogus": po})
+
+    def test_fanout_property(self):
+        netlist, a, b, g, n = _and_pair()
+        assert a.fanout == 1
+        assert g.outputs["y"].fanout == 1
+        assert n.outputs["y"].fanout == 0

@@ -76,3 +76,33 @@ class TestStats:
         assert stats.area is None
         assert stats.num_inputs == 2
         assert stats.num_outputs == 1
+
+
+class TestFloatingAndMultiplyDriven:
+    def test_multiply_driven_net_detected(self):
+        netlist = _small_netlist()
+        gate = netlist.cells["and2_1"]
+        inv = netlist.cells["not_2"]
+        # forcibly bind the NOT's output onto the AND's output net
+        contested = gate.outputs["y"]
+        inv.outputs["y"] = contested
+        with pytest.raises(NetlistError, match="multiply-driven"):
+            validate_netlist(netlist)
+
+    def test_floating_net_with_stale_driver_detected(self):
+        netlist = _small_netlist()
+        inv = netlist.cells["not_2"]
+        po = inv.outputs["y"]
+        # drop the cell but leave the net's driver pointer stale: the net now
+        # floats even though every back-pointer check still passes
+        del netlist.cells[inv.name]
+        gate_out = inv.inputs["a"]
+        gate_out.loads = [entry for entry in gate_out.loads if entry[0] is not inv]
+        with pytest.raises(NetlistError, match="floating"):
+            validate_netlist(netlist)
+
+    def test_optimized_netlists_validate(self, small_design):
+        from repro.flows.synthesis import synthesize
+
+        result = synthesize(small_design, method="fa_aot", opt_level=2)
+        assert validate_netlist(result.netlist) is not None

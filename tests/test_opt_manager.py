@@ -1,0 +1,151 @@
+"""Tests for the pass manager, optimization levels and equivalence checker."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.flows.synthesis import synthesize
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+from repro.opt.base import RewritePass
+from repro.opt.equivalence import check_netlists_equivalent
+from repro.opt.manager import OPT_LEVELS, PassManager, default_pipeline, optimize_netlist
+
+
+class TestDefaultPipeline:
+    def test_levels(self):
+        assert OPT_LEVELS == (0, 1, 2)
+        assert default_pipeline(0) == []
+        names1 = [p.name for p in default_pipeline(1)]
+        names2 = [p.name for p in default_pipeline(2)]
+        assert names1 == ["constant-fold", "buf-not-cleanup", "dce"]
+        assert names2 == [
+            "constant-fold",
+            "fa-ha-strength",
+            "buf-not-cleanup",
+            "cse",
+            "dce",
+        ]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(OptimizationError):
+            default_pipeline(3)
+
+
+class TestPassManager:
+    def test_fixpoint_and_report(self, small_design, library):
+        result = synthesize(small_design, method="fa_aot")
+        before_cells = result.netlist.num_cells()
+        report = optimize_netlist(
+            result.netlist, opt_level=2, library=library, validate=True
+        )
+        assert report.converged
+        assert report.cells_removed > 0
+        assert report.before.num_cells == before_cells
+        assert report.after.num_cells == result.netlist.num_cells()
+        assert report.area_delta is not None and report.area_delta > 0
+        assert report.equivalence is not None
+        assert report.equivalence.equivalent
+        assert report.equivalence.exhaustive  # 8 input bits
+        assert report.validated
+        # the last pipeline iteration performed no rewrites
+        last_iter = max(stat.iteration for stat in report.passes)
+        assert all(
+            stat.rewrites == 0
+            for stat in report.passes
+            if stat.iteration == last_iter
+        )
+
+    def test_opt_level_zero_is_noop(self, small_design):
+        result = synthesize(small_design, method="fa_aot")
+        before = result.netlist.to_dict()
+        report = optimize_netlist(result.netlist, opt_level=0)
+        assert result.netlist.to_dict() == before
+        assert report.cells_removed == 0
+        assert report.passes == []
+        assert report.converged
+
+    def test_check_each_pass(self, small_design):
+        result = synthesize(small_design, method="fa_aot")
+        report = optimize_netlist(
+            result.netlist, opt_level=2, check_each_pass=True
+        )
+        assert report.equivalence is not None and report.equivalence.equivalent
+
+    def test_broken_pass_is_caught(self, small_design):
+        class BreakingPass(RewritePass):
+            name = "breaker"
+
+            def run(self, netlist):
+                # silently tie an input bit to 0: functionally wrong but
+                # structurally legal, so only the equivalence check sees it
+                netlist.replace_net_uses(netlist.nets["x[0]"], netlist.const(0))
+                return 1
+
+        result = synthesize(small_design, method="fa_aot")
+        manager = PassManager([BreakingPass()], check_equivalence=True, max_iterations=1)
+        with pytest.raises(OptimizationError):
+            manager.run(result.netlist)
+
+    def test_report_to_dict_and_render(self, small_design, library):
+        result = synthesize(small_design, method="fa_aot")
+        report = optimize_netlist(result.netlist, opt_level=2, library=library)
+        record = report.to_dict()
+        assert record["opt_level"] == 2
+        assert record["cells_removed"] == report.cells_removed
+        assert record["equivalence"]["equivalent"] is True
+        assert len(record["passes"]) == len(report.passes)
+        text = report.render()
+        assert "-O2" in text
+        assert "equivalence: ok" in text
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(OptimizationError):
+            PassManager([], max_iterations=0)
+
+
+class TestEquivalenceChecker:
+    def test_equivalent_copies(self, small_design):
+        netlist = synthesize(small_design, method="fa_aot").netlist
+        report = check_netlists_equivalent(netlist, netlist.copy())
+        assert report.equivalent
+        assert report.exhaustive
+        assert report.vectors_checked == 1 << 8
+
+    def test_random_sampling_above_limit(self, small_design):
+        netlist = synthesize(small_design, method="fa_aot").netlist
+        report = check_netlists_equivalent(
+            netlist, netlist.copy(), exhaustive_width_limit=4, random_vector_count=64
+        )
+        assert report.equivalent
+        assert not report.exhaustive
+        assert report.vectors_checked == 64
+
+    def test_detects_inequivalence(self):
+        def build(gate):
+            netlist = Netlist("g")
+            a = netlist.add_input("a")
+            b = netlist.add_input("b")
+            cell = netlist.add_cell(gate, {"a": a, "b": b}, name="g")
+            netlist.set_output(cell.outputs["y"])
+            return netlist
+
+        left = build(CellType.AND2)
+        right = build(CellType.OR2)
+        # align output net names so the interface matches
+        assert [n.name for n in left.primary_outputs] == [
+            n.name for n in right.primary_outputs
+        ]
+        report = check_netlists_equivalent(left, right)
+        assert not report.equivalent
+        assert report.mismatches
+        first = report.mismatches[0]
+        assert first["expected"] != first["produced"]
+        with pytest.raises(OptimizationError):
+            report.assert_ok()
+
+    def test_interface_mismatch_rejected(self, small_design):
+        netlist = synthesize(small_design, method="fa_aot").netlist
+        other = Netlist("other")
+        other.add_input("zzz")
+        with pytest.raises(OptimizationError):
+            check_netlists_equivalent(netlist, other)
