@@ -16,22 +16,36 @@ summed by a single carry-propagate final adder.
 
 Public entry points
 -------------------
+``repro.api``
+    The canonical public surface: :class:`~repro.api.FlowConfig` (the
+    unified, self-describing configuration schema every layer derives
+    from), the staged :class:`~repro.api.Flow` pipeline with registrable
+    stages and skippable analyses, and :class:`~repro.api.FlowResult`.
 ``repro.flows.synthesize``
-    End-to-end synthesis of a datapath design with a chosen allocation method.
+    Back-compat keyword-argument shim over ``Flow`` — still supported.
+``repro.explore``
+    Parallel design-space sweeps (grids over the FlowConfig axes), with an
+    on-disk result cache and Pareto analysis.
+``repro.opt``
+    Equivalence-checked netlist optimization (``-O0/1/2``).
 ``repro.designs``
     The benchmark designs evaluated in the paper (IIR, Kalman, IDCT, ...).
-``repro.core``
-    The FA-tree allocation algorithms themselves.
-``repro.baselines``
-    Wallace, Dadda, word-level CSA_OPT and conventional operator-level RTL
-    synthesis used as comparison points.
+``repro.core`` / ``repro.baselines``
+    The FA-tree allocation algorithms and the Wallace / Dadda / CSA_OPT /
+    conventional comparison points.
 
 Quickstart
 ----------
+>>> from repro.api import Flow, FlowConfig
+>>> result = Flow(FlowConfig(method="fa_aot")).run("x2_plus_x_plus_y")
+>>> result.delay_ns > 0
+True
+
+The legacy form still works:
+
 >>> from repro.designs import get_design
 >>> from repro.flows import synthesize
->>> design = get_design("x2_plus_x_plus_y")
->>> result = synthesize(design, method="fa_aot")
+>>> result = synthesize(get_design("x2_plus_x_plus_y"), method="fa_aot")
 >>> result.delay_ns > 0
 True
 """
@@ -42,6 +56,7 @@ from repro.errors import (
     NetlistError,
     ExpressionError,
     AllocationError,
+    ConfigError,
     LibraryError,
     SimulationError,
     DesignError,
@@ -53,7 +68,30 @@ __all__ = [
     "NetlistError",
     "ExpressionError",
     "AllocationError",
+    "ConfigError",
     "LibraryError",
     "SimulationError",
     "DesignError",
+    "Flow",
+    "FlowConfig",
+    "FlowResult",
+    "synthesize",
 ]
+
+#: names re-exported lazily (PEP 562) so ``import repro`` stays lightweight
+_LAZY_EXPORTS = {
+    "Flow": ("repro.api", "Flow"),
+    "FlowConfig": ("repro.api", "FlowConfig"),
+    "FlowResult": ("repro.api", "FlowResult"),
+    "synthesize": ("repro.flows.synthesis", "synthesize"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

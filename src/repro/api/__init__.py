@@ -1,0 +1,80 @@
+"""The canonical public API: one config schema, one staged flow.
+
+This package is the spine of the system:
+
+* :class:`FlowConfig` — a frozen, validated, self-describing configuration
+  dataclass.  Its per-field metadata (choices, default, CLI flag, sweep
+  axis, cache relevance) is the **single source of truth** for every knob:
+  the CLI, the sweep engine, the result cache and the legacy
+  ``synthesize(**kwargs)`` shim all derive from it.
+* :class:`Flow` — the staged pipeline
+  (``frontend -> reduce -> final_adder -> optimize -> analyze``) with
+  registrable stages and individually skippable analysis passes.
+* :class:`FlowResult` — the run result: netlist, metrics, per-stage
+  artifacts and wall-times.  Subsumes the legacy :class:`SynthesisResult`.
+
+Quickstart::
+
+    from repro.api import Flow, FlowConfig
+
+    config = FlowConfig(method="fa_aot", final_adder="kogge_stone")
+    result = Flow(config).run("iir")
+    print(result.summary())
+
+    # timing-only analysis: skips power propagation for faster sweeps
+    fast = Flow(FlowConfig(analyses=("timing",))).run("iir")
+    assert fast.delay_ns > 0 and fast.power is None
+"""
+
+from repro.api.config import (
+    DEFAULT_ANALYSES,
+    MATRIX_METHODS,
+    MULTIPLICATION_STYLES,
+    SYNTHESIS_METHODS,
+    FieldSpec,
+    FlowConfig,
+    config_field,
+    config_fields,
+)
+from repro.api.flow import Flow
+from repro.api.options import (
+    add_flow_options,
+    add_sweep_options,
+    flow_config_from_args,
+    sweep_spec_from_args,
+)
+from repro.api.result import FlowResult, SynthesisResult
+from repro.api.stages import (
+    STAGE_ORDER,
+    FlowContext,
+    analysis_names,
+    register_analysis,
+    register_stage,
+    stage_names,
+    unregister_analysis,
+)
+
+__all__ = [
+    "DEFAULT_ANALYSES",
+    "MATRIX_METHODS",
+    "MULTIPLICATION_STYLES",
+    "STAGE_ORDER",
+    "SYNTHESIS_METHODS",
+    "FieldSpec",
+    "Flow",
+    "FlowConfig",
+    "FlowContext",
+    "FlowResult",
+    "SynthesisResult",
+    "add_flow_options",
+    "add_sweep_options",
+    "analysis_names",
+    "config_field",
+    "config_fields",
+    "flow_config_from_args",
+    "register_analysis",
+    "register_stage",
+    "stage_names",
+    "sweep_spec_from_args",
+    "unregister_analysis",
+]

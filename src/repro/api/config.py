@@ -1,0 +1,450 @@
+"""The unified flow configuration schema: one dataclass drives everything.
+
+:class:`FlowConfig` is the single source of truth for every synthesis knob.
+Each field carries metadata (choices, CLI flag, sweep-axis name, help text,
+cache relevance) introspectable through :func:`config_fields`, so the other
+layers *derive* their surface from this schema instead of re-declaring it:
+
+* ``repro.flows.synthesize(**kwargs)`` is a thin shim that builds a
+  :class:`FlowConfig` from its keyword arguments;
+* the CLI generates its ``synth`` / ``compare`` / ``explore`` options from
+  the field metadata (:mod:`repro.api.options`);
+* ``repro.explore.spec`` builds its ``SweepPoint`` / ``SweepSpec``
+  dataclasses dynamically from the same fields, so every knob is
+  automatically a sweep axis and part of the result-cache key;
+* :meth:`FlowConfig.cache_key` is the canonical cache identity — adding a
+  field here is all it takes for a new knob to flow through sweeps, CLI
+  flags and cached records.
+
+A config is frozen, validates itself on construction (raising
+:class:`repro.errors.ConfigError`) and serializes canonically through
+``to_dict`` / ``from_dict``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.adders.factory import FINAL_ADDER_KINDS
+from repro.baselines.multipliers import MULTIPLIER_STYLES
+from repro.errors import ConfigError
+from repro.opt.manager import OPT_LEVELS, OPT_LEVEL_HELP
+from repro.tech.default_libs import LIBRARY_NAMES
+
+#: methods that go through the addend matrix + compressor tree pipeline
+MATRIX_METHODS = (
+    "fa_aot",
+    "fa_alp",
+    "fa_random",
+    "wallace",
+    "dadda",
+    "csa_opt",
+    "column_isolation",
+)
+
+#: every method accepted by the flow
+SYNTHESIS_METHODS = MATRIX_METHODS + ("conventional",)
+
+#: partial-product generation schemes for the matrix methods
+MULTIPLICATION_STYLES = ("and_array", "booth")
+
+#: the analyses run by default (full analysis, the paper's protocol)
+DEFAULT_ANALYSES = ("timing", "power", "stats")
+
+
+def _registered_analyses() -> Tuple[str, ...]:
+    """Valid ``analyses`` values; resolved lazily from the stage registry."""
+    from repro.api.stages import analysis_names
+
+    return analysis_names()
+
+
+def _meta(
+    help: str,
+    *,
+    kind: str = "str",
+    choices: object = None,
+    flag: Optional[str] = None,
+    axis: Optional[str] = None,
+    axis_flag: Optional[str] = None,
+    cache: bool = True,
+) -> Dict[str, Dict[str, object]]:
+    """Build the ``field(metadata=...)`` payload for one config knob."""
+    return {
+        "repro": {
+            "help": help,
+            "kind": kind,
+            "choices": choices,
+            "flag": flag,
+            "axis": axis,
+            "axis_flag": axis_flag,
+            "cache": cache,
+        }
+    }
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Resolved, introspection-friendly view of one :class:`FlowConfig` field.
+
+    ``kind`` is one of ``"str"``, ``"bool"``, ``"int"``, ``"optional_int"``
+    or ``"names"`` (a tuple of strings, e.g. ``analyses``).  ``axis`` names
+    the plural sweep-axis attribute on ``SweepSpec`` (``None`` = the field is
+    a per-sweep scalar, not an axis).  ``cache_relevant`` fields are part of
+    :meth:`FlowConfig.cache_key` and of every ``SweepPoint``.
+    """
+
+    name: str
+    default: object
+    kind: str
+    help: str
+    choices: Optional[Tuple]
+    flag: Optional[str]
+    axis: Optional[str]
+    axis_flag: Optional[str]
+    cache_relevant: bool
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Declarative, validated configuration of one synthesis flow run.
+
+    Every knob of the flow lives here — see the module docstring for how the
+    CLI, the sweep engine and the cache all derive from this schema.  The
+    design itself is *not* configuration: it is the input passed to
+    :meth:`repro.api.Flow.run`.
+    """
+
+    method: str = field(
+        default="fa_aot",
+        metadata=_meta(
+            "compressor-tree allocation method",
+            choices=SYNTHESIS_METHODS,
+            flag="--method",
+            axis="methods",
+            axis_flag="--methods",
+        ),
+    )
+    final_adder: str = field(
+        default="cla",
+        metadata=_meta(
+            "final carry-propagate adder architecture",
+            choices=FINAL_ADDER_KINDS,
+            flag="--final-adder",
+            axis="final_adders",
+            axis_flag="--final-adders",
+        ),
+    )
+    library: str = field(
+        default="generic_035",
+        metadata=_meta(
+            "technology library",
+            choices=tuple(LIBRARY_NAMES),
+            flag="--library",
+            axis="libraries",
+            axis_flag="--libraries",
+        ),
+    )
+    multiplication_style: str = field(
+        default="and_array",
+        metadata=_meta(
+            "partial-product generation for the matrix methods",
+            choices=MULTIPLICATION_STYLES,
+            flag="--multiplication-style",
+            axis="multiplication_styles",
+            axis_flag="--multiplication-styles",
+        ),
+    )
+    use_csd_coefficients: bool = field(
+        default=False,
+        metadata=_meta(
+            "recode constant coefficients in canonical signed-digit form",
+            kind="bool",
+            flag="--csd",
+            axis="csd_options",
+            axis_flag="--csd",
+        ),
+    )
+    fold_square_products: bool = field(
+        default=False,
+        metadata=_meta(
+            "fold symmetric partial products of x*x terms (squarer optimization)",
+            kind="bool",
+            flag="--fold-square-products",
+            axis="fold_square_options",
+            axis_flag="--fold-square-products",
+        ),
+    )
+    multiplier_style: str = field(
+        default="wallace_cpa",
+        metadata=_meta(
+            "multiplier macro style for the conventional method",
+            choices=MULTIPLIER_STYLES,
+            flag="--multiplier-style",
+            axis="multiplier_styles",
+            axis_flag="--multiplier-styles",
+        ),
+    )
+    random_probabilities: bool = field(
+        default=False,
+        metadata=_meta(
+            "randomize input signal probabilities (Table 2 protocol)",
+            kind="bool",
+            flag="--random-probabilities",
+        ),
+    )
+    opt_level: int = field(
+        default=0,
+        metadata=_meta(
+            OPT_LEVEL_HELP,
+            kind="int",
+            choices=OPT_LEVELS,
+            flag="--opt",
+            axis="opt_levels",
+            axis_flag="--opt-levels",
+        ),
+    )
+    seed: Optional[int] = field(
+        default=2000,
+        metadata=_meta(
+            "random seed for fa_random / random probabilities",
+            kind="optional_int",
+            flag="--seed",
+            axis="seeds",
+            axis_flag="--seeds",
+        ),
+    )
+    analyses: Tuple[str, ...] = field(
+        default=DEFAULT_ANALYSES,
+        metadata=_meta(
+            "analysis passes to run on the finished netlist "
+            "(skipping passes speeds up large sweeps)",
+            kind="names",
+            choices=_registered_analyses,
+            flag="--analyses",
+        ),
+    )
+    opt_validate: bool = field(
+        default=False,
+        metadata=_meta(
+            "debug: structurally validate the netlist after every opt pass",
+            kind="bool",
+            flag="--opt-validate",
+            cache=False,
+        ),
+    )
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        # normalize analyses to a deduplicated tuple (order-preserving) so
+        # configs stay hashable and no pass can be scheduled twice
+        analyses = (self.analyses,) if isinstance(self.analyses, str) else self.analyses
+        normalized = tuple(dict.fromkeys(analyses))
+        if normalized != self.analyses:
+            object.__setattr__(self, "analyses", normalized)
+        for spec in config_fields():
+            value = getattr(self, spec.name)
+            self._check_type(spec, value)
+            if spec.choices is None:
+                continue
+            if spec.kind == "names":
+                unknown = [v for v in value if v not in spec.choices]
+                if unknown:
+                    raise ConfigError(
+                        f"unknown {spec.name} {unknown!r}; "
+                        f"expected values from {spec.choices}"
+                    )
+            elif value not in spec.choices:
+                raise ConfigError(
+                    f"unknown {spec.name} {value!r}; expected one of {spec.choices}"
+                )
+
+    @staticmethod
+    def _check_type(spec: FieldSpec, value: object) -> None:
+        ok = True
+        if spec.kind == "bool":
+            ok = isinstance(value, bool)
+        elif spec.kind == "int":
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        elif spec.kind == "optional_int":
+            ok = value is None or (isinstance(value, int) and not isinstance(value, bool))
+        elif spec.kind == "names":
+            ok = isinstance(value, tuple) and all(isinstance(v, str) for v in value)
+        else:  # "str"
+            ok = isinstance(value, str)
+        if not ok:
+            raise ConfigError(
+                f"bad value {value!r} for {spec.name} (expected {spec.kind})"
+            )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view with JSON-stable value types (tuples -> lists)."""
+        out: Dict[str, object] = {}
+        for spec in config_fields():
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FlowConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a typo'd knob must not silently
+        disappear); missing keys fall back to the schema defaults.
+        """
+        known = {spec.name for spec in config_fields()}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown FlowConfig field(s) {unknown!r}; expected a subset of "
+                f"{sorted(known)!r}"
+            )
+        return cls(**dict(data))
+
+    # ------------------------------------------------------------------
+    # canonicalization and cache identity
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> "FlowConfig":
+        """Normalized copy with don't-care knobs reset to their defaults.
+
+        Matrix-construction knobs are reset for the matrix-free
+        ``conventional`` method (and the conventional-only multiplier style
+        is reset for matrix methods); the seed is reset when nothing random
+        consumes it (only ``fa_random`` and the random-probability protocol
+        do); ``analyses`` is deduplicated and sorted into registry order.
+        Two configs describing the same computation therefore share one
+        :meth:`cache_key`.
+        """
+        defaults = {spec.name: spec.default for spec in config_fields()}
+        cfg = self
+        if cfg.method == "conventional":
+            if (
+                cfg.multiplication_style != defaults["multiplication_style"]
+                or cfg.use_csd_coefficients
+                or cfg.fold_square_products
+            ):
+                cfg = replace(
+                    cfg,
+                    multiplication_style=defaults["multiplication_style"],
+                    use_csd_coefficients=defaults["use_csd_coefficients"],
+                    fold_square_products=defaults["fold_square_products"],
+                )
+        elif cfg.multiplier_style != defaults["multiplier_style"]:
+            cfg = replace(cfg, multiplier_style=defaults["multiplier_style"])
+        if cfg.method != "fa_random" and not cfg.random_probabilities:
+            if cfg.seed != defaults["seed"]:
+                cfg = replace(cfg, seed=defaults["seed"])
+        order = {name: i for i, name in enumerate(_registered_analyses())}
+        analyses = tuple(
+            sorted(dict.fromkeys(cfg.analyses), key=lambda name: order.get(name, 99))
+        )
+        if analyses != cfg.analyses:
+            cfg = replace(cfg, analyses=analyses)
+        return cfg
+
+    def cache_dict(self) -> Dict[str, object]:
+        """Canonical dict of the cache-relevant fields only."""
+        cfg = self.canonical()
+        out: Dict[str, object] = {}
+        for spec in config_fields():
+            if not spec.cache_relevant:
+                continue
+            value = getattr(cfg, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    def cache_key(self) -> str:
+        """Stable content key: canonical JSON of the cache-relevant fields.
+
+        Independent of field declaration order (keys are sorted) and of
+        don't-care knobs (see :meth:`canonical`).
+        """
+        return json.dumps(self.cache_dict(), sort_keys=True, separators=(",", ":"))
+
+    def cache_digest(self) -> str:
+        """Short hex digest of :meth:`cache_key`."""
+        return hashlib.sha256(self.cache_key().encode("utf-8")).hexdigest()[:32]
+
+
+#: memoized (registry_version, specs); rebuilt when the analysis registry
+#: changes so late ``register_analysis`` calls stay visible
+_SPEC_CACHE: Optional[Tuple[int, Tuple[FieldSpec, ...]]] = None
+
+
+def config_fields() -> Tuple[FieldSpec, ...]:
+    """The resolved :class:`FieldSpec` of every :class:`FlowConfig` field.
+
+    This is the introspection surface the CLI generator and the sweep-spec
+    builder consume; callable ``choices`` (e.g. the analysis registry) are
+    resolved at call time so late registrations are visible.  The result is
+    memoized against the analysis-registry version — this runs on every
+    config construction, which sweeps do thousands of times.
+    """
+    global _SPEC_CACHE
+    from repro.api.stages import analysis_registry_version
+
+    version = analysis_registry_version()
+    if _SPEC_CACHE is not None and _SPEC_CACHE[0] == version:
+        return _SPEC_CACHE[1]
+    specs = []
+    for f in fields(FlowConfig):
+        meta = f.metadata["repro"]
+        choices = meta["choices"]
+        if callable(choices):
+            choices = tuple(choices())
+        specs.append(
+            FieldSpec(
+                name=f.name,
+                default=f.default,
+                kind=meta["kind"],
+                help=meta["help"],
+                choices=tuple(choices) if choices is not None else None,
+                flag=meta["flag"],
+                axis=meta["axis"],
+                axis_flag=meta["axis_flag"],
+                cache_relevant=meta["cache"],
+            )
+        )
+    _SPEC_CACHE = (version, tuple(specs))
+    return _SPEC_CACHE[1]
+
+
+def config_field(name: str) -> FieldSpec:
+    """The :class:`FieldSpec` for one field name (raises on unknown names)."""
+    for spec in config_fields():
+        if spec.name == name:
+            return spec
+    raise ConfigError(f"unknown FlowConfig field {name!r}")
+
+
+def library_field_value(library: Optional[object]) -> str:
+    """The ``library`` config value matching a :class:`TechLibrary` object.
+
+    Custom library objects whose name is not a registered library keep the
+    schema default in the config (the object itself is still used by the
+    flow — an explicit library argument always wins over the config name).
+    Note that for such custom libraries the embedded config (and therefore
+    ``cache_key()``) cannot describe the run: the authoritative library of
+    a result is always ``FlowResult.library_name``, and runs with custom
+    library objects must not be keyed by ``cache_key()`` (the registry-name
+    based explore cache never sees them).
+    """
+    spec = config_field("library")
+    if library is not None and getattr(library, "name", None) in spec.choices:
+        return library.name  # type: ignore[union-attr]
+    return spec.default  # type: ignore[return-value]

@@ -1,0 +1,171 @@
+"""argparse option generation from the :class:`FlowConfig` field schema.
+
+The CLI never hand-declares a flow knob: ``synth``/``compare`` call
+:func:`add_flow_options` (one flag per config field) and ``explore`` calls
+:func:`add_sweep_options` (one multi-value axis flag per sweepable field,
+plus the per-sweep scalar flags).  Adding a field to :class:`FlowConfig`
+therefore adds the CLI surface, the sweep axis and the cache-key entry in
+one place.
+
+Boolean axes are exposed with the ``off`` / ``on`` / ``both`` convention
+(``--csd both`` sweeps the coefficient recoding on and off).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.api.config import FieldSpec, FlowConfig, config_fields
+
+#: tri-state values accepted by boolean sweep axes
+_BOOL_AXIS_VALUES: Dict[str, Sequence[bool]] = {
+    "off": (False,),
+    "on": (True,),
+    "both": (False, True),
+}
+
+
+def _selected(
+    spec: FieldSpec,
+    include: Optional[Sequence[str]],
+    exclude: Sequence[str],
+) -> bool:
+    if include is not None and spec.name not in include:
+        return False
+    return spec.name not in exclude
+
+
+def _add_scalar_argument(parser: argparse.ArgumentParser, spec: FieldSpec) -> None:
+    """One singular flag for one config field (synth/compare style)."""
+    if spec.kind == "bool":
+        parser.add_argument(
+            spec.flag, dest=spec.name, action="store_true", help=spec.help
+        )
+    elif spec.kind == "names":
+        parser.add_argument(
+            spec.flag,
+            dest=spec.name,
+            nargs="+",
+            choices=spec.choices,
+            default=list(spec.default),
+            metavar="NAME",
+            help=f"{spec.help} (choices: {', '.join(spec.choices)})",
+        )
+    elif spec.kind in ("int", "optional_int"):
+        parser.add_argument(
+            spec.flag,
+            dest=spec.name,
+            type=int,
+            choices=spec.choices,
+            default=spec.default,
+            metavar="N",
+            help=spec.help,
+        )
+    else:
+        parser.add_argument(
+            spec.flag,
+            dest=spec.name,
+            choices=spec.choices,
+            default=spec.default,
+            help=spec.help,
+        )
+
+
+def add_flow_options(
+    parser: argparse.ArgumentParser,
+    include: Optional[Sequence[str]] = None,
+    exclude: Sequence[str] = (),
+) -> None:
+    """Add one CLI flag per :class:`FlowConfig` field to ``parser``.
+
+    ``include`` restricts generation to the named fields; ``exclude`` drops
+    fields (e.g. ``compare`` excludes ``method`` and adds the multi-valued
+    ``--methods`` axis instead).
+    """
+    for spec in config_fields():
+        if spec.flag is None or not _selected(spec, include, exclude):
+            continue
+        _add_scalar_argument(parser, spec)
+
+
+def flow_config_from_args(
+    args: argparse.Namespace, **overrides: object
+) -> FlowConfig:
+    """Build a validated :class:`FlowConfig` from parsed CLI arguments.
+
+    Only attributes that exist on ``args`` are consumed, so parsers that
+    generated a subset of the flags (``include=...``) work transparently.
+    """
+    values: Dict[str, object] = {}
+    for spec in config_fields():
+        if hasattr(args, spec.name):
+            values[spec.name] = getattr(args, spec.name)
+    values.update(overrides)
+    return FlowConfig.from_dict(values)
+
+
+def add_sweep_options(
+    parser: argparse.ArgumentParser,
+    include: Optional[Sequence[str]] = None,
+    exclude: Sequence[str] = (),
+    defaults: Optional[Mapping[str, Sequence]] = None,
+) -> None:
+    """Add the explore-style sweep flags generated from the schema.
+
+    Sweepable fields get a multi-value axis flag (``--methods``,
+    ``--opt-levels``, tri-state ``--csd`` for booleans); per-sweep scalars
+    (``--random-probabilities``, ``--analyses``, ``--opt-validate``) reuse
+    their singular form.  ``defaults`` overrides the generated default of an
+    axis, keyed by the axis attribute name (e.g. ``{"methods": [...]}``).
+    """
+    defaults = defaults or {}
+    for spec in config_fields():
+        if not _selected(spec, include, exclude):
+            continue
+        if spec.axis is None:
+            if spec.flag is not None:
+                _add_scalar_argument(parser, spec)
+            continue
+        if spec.kind == "bool":
+            parser.add_argument(
+                spec.axis_flag,
+                dest=spec.axis,
+                choices=tuple(_BOOL_AXIS_VALUES),
+                default="off",
+                help=f"sweep: {spec.help}",
+            )
+            continue
+        parser.add_argument(
+            spec.axis_flag,
+            dest=spec.axis,
+            nargs="+",
+            type=int if spec.kind in ("int", "optional_int") else str,
+            choices=spec.choices,
+            default=list(defaults.get(spec.axis, (spec.default,))),
+            metavar=spec.name.upper(),
+            help=f"sweep: {spec.help}",
+        )
+
+
+def sweep_spec_from_args(
+    args: argparse.Namespace,
+    designs: Sequence[str],
+    constraints: Sequence = (),
+):
+    """Build a :class:`repro.explore.SweepSpec` from parsed explore args."""
+    from repro.explore.spec import SweepSpec
+
+    kwargs: Dict[str, object] = {}
+    for spec in config_fields():
+        if spec.axis is not None and hasattr(args, spec.axis):
+            values = getattr(args, spec.axis)
+            if spec.kind == "bool" and isinstance(values, str):
+                values = _BOOL_AXIS_VALUES[values]
+            kwargs[spec.axis] = tuple(values)
+        elif spec.axis is None and hasattr(args, spec.name):
+            value = getattr(args, spec.name)
+            if spec.kind == "names":
+                value = tuple(value)
+            kwargs[spec.name] = value
+    return SweepSpec(designs=tuple(designs), constraints=tuple(constraints), **kwargs)

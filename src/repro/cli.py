@@ -6,6 +6,7 @@ Usage examples::
     repro-datapath synth --design iir --method fa_aot --verilog iir.v
     repro-datapath synth --design iir --json iir.json
     repro-datapath synth --design iir --opt 2            # optimized netlist
+    repro-datapath synth --design iir --analyses timing  # skip power/stats
     repro-datapath compare --design kalman --methods conventional csa_opt fa_aot
     repro-datapath table1 --jobs 4 --cache-dir .sweep-cache
     repro-datapath table2
@@ -14,8 +15,11 @@ Usage examples::
         --jobs 4 --cache-dir .sweep-cache \\
         --json sweep.json --csv sweep.csv --pareto
 
-``table1`` / ``table2`` and ``explore`` all run on the
-:mod:`repro.explore` sweep engine, so they share the worker pool
+Every flow knob flag on ``synth`` / ``compare`` and every sweep-axis flag
+on ``explore`` is **generated from the ``repro.api.FlowConfig`` field
+metadata** (see :mod:`repro.api.options`) — the CLI has no hand-maintained
+copy of the knob list.  ``table1`` / ``table2`` and ``explore`` all run on
+the :mod:`repro.explore` sweep engine, so they share the worker pool
 (``--jobs``) and the on-disk result cache (``--cache-dir``).
 """
 
@@ -24,36 +28,35 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro._version import __version__
-from repro.adders.factory import FINAL_ADDER_KINDS
+from repro.api.flow import Flow
+from repro.api.options import (
+    add_flow_options,
+    add_sweep_options,
+    flow_config_from_args,
+    sweep_spec_from_args,
+)
 from repro.designs.registry import (
     TABLE1_DESIGN_NAMES,
     TABLE2_DESIGN_NAMES,
     get_design,
     list_designs,
-    with_random_probabilities,
 )
-from repro.errors import LibraryError, ReproError
+from repro.errors import ReproError
 from repro.explore.engine import PointOutcome, SweepResult, run_sweep
 from repro.explore.io import sweep_report, write_csv, write_json
 from repro.explore.spec import SweepSpec, table1_spec, table2_spec
 from repro.flows.compare import compare_methods
-from repro.flows.synthesis import SYNTHESIS_METHODS, synthesize
 from repro.netlist.verilog import to_verilog
-from repro.opt.manager import OPT_LEVELS
-from repro.report.tables import table1_from_records, table2_from_records
-from repro.tech.default_libs import LIBRARY_NAMES, resolve_library
-from repro.timing.report import timing_report
 from repro.power.report import power_report
+from repro.report.tables import table1_from_records, table2_from_records
+from repro.tech.default_libs import resolve_library
+from repro.timing.report import timing_report
 
-
-def _library(name: str):
-    try:
-        return resolve_library(name)
-    except LibraryError as exc:
-        raise SystemExit(str(exc))
+#: default method set for `compare` and `explore` (the paper's headline trio)
+_DEFAULT_COMPARE_METHODS = ("conventional", "csa_opt", "fa_aot")
 
 
 def _write_json_payload(payload: object, target: str) -> None:
@@ -70,35 +73,7 @@ def _write_json_payload(payload: object, target: str) -> None:
         print(f"wrote JSON to {target}")
 
 
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--library",
-        default="generic_035",
-        help=f"technology library ({' or '.join(LIBRARY_NAMES)})",
-    )
-    parser.add_argument(
-        "--final-adder",
-        default="cla",
-        choices=FINAL_ADDER_KINDS,
-        help="final carry-propagate adder architecture",
-    )
-
-
-def _add_opt_option(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--opt",
-        type=int,
-        default=0,
-        choices=OPT_LEVELS,
-        metavar="LEVEL",
-        help=(
-            "netlist optimization level: 0 = as built (paper protocol), "
-            "1 = safe cleanups, 2 = full pipeline (always equivalence-checked)"
-        ),
-    )
-
-
-def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+def _add_sweep_exec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the sweep (1 = serial)"
     )
@@ -114,32 +89,31 @@ def _cmd_list_designs(_: argparse.Namespace) -> int:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
-    design = get_design(args.design)
-    if args.random_probabilities:
-        design = with_random_probabilities(design, seed=args.seed)
-    library = _library(args.library)
-    result = synthesize(
-        design,
-        method=args.method,
-        library=library,
-        final_adder=args.final_adder,
-        seed=args.seed,
-        opt_level=args.opt,
-        opt_validate=args.opt_validate,
-    )
+    config = flow_config_from_args(args)
+    library = resolve_library(config.library)
+    result = Flow(config).run(args.design, library=library)
     print(result.summary())
     if result.opt_report is not None:
         print()
         print(result.opt_report.render())
     if args.timing:
+        if result.timing is None:
+            raise SystemExit("--timing needs the 'timing' analysis (see --analyses)")
         print()
         print(timing_report(result.netlist, library, result.timing))
     if args.power:
+        if result.power is None:
+            raise SystemExit("--power needs the 'power' analysis (see --analyses)")
         print()
         print(power_report(result.netlist, result.power))
     if args.verilog:
         with open(args.verilog, "w", encoding="utf-8") as handle:
-            handle.write(to_verilog(result.netlist, module_name=f"{design.name}_{args.method}"))
+            handle.write(
+                to_verilog(
+                    result.netlist,
+                    module_name=f"{result.design_name}_{result.method}",
+                )
+            )
         print(f"wrote Verilog netlist to {args.verilog}")
     if args.json:
         _write_json_payload(result.to_dict(), args.json)
@@ -148,13 +122,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     design = get_design(args.design)
+    config = flow_config_from_args(args, method=args.methods[0])
     row = compare_methods(
-        design,
-        args.methods,
-        library=_library(args.library),
-        final_adder=args.final_adder,
-        seed=args.seed,
-        opt_level=args.opt,
+        design, args.methods, library=resolve_library(config.library), config=config
     )
     for method in args.methods:
         print(row.results[method].summary())
@@ -210,22 +180,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    csd_options: Sequence[bool] = {
-        "off": (False,),
-        "on": (True,),
-        "both": (False, True),
-    }[args.csd]
-    spec = SweepSpec(
-        designs=args.designs or TABLE1_DESIGN_NAMES,
-        methods=tuple(args.methods),
-        final_adders=tuple(args.final_adders),
-        libraries=tuple(args.libraries),
-        multiplication_styles=tuple(args.multiplication_styles),
-        csd_options=csd_options,
-        random_probabilities=args.random_probabilities,
-        opt_levels=tuple(args.opt_levels),
-        seeds=tuple(args.seeds),
-    )
+    spec = sweep_spec_from_args(args, designs=args.designs or TABLE1_DESIGN_NAMES)
 
     def progress(outcome: PointOutcome, done: int, total: int) -> None:
         status = "cached" if outcome.cached else ("FAILED" if not outcome.ok else "ok")
@@ -246,7 +201,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the top-level argument parser."""
+    """Build the top-level argument parser.
+
+    All flow-knob options are generated from the FlowConfig schema; only
+    command-specific I/O options (``--design``, ``--json``, ``--verilog``,
+    ``--jobs``, ...) are declared here.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-datapath",
         description=(
@@ -262,53 +222,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     synth = sub.add_parser("synth", help="synthesize one design with one method")
     synth.add_argument("--design", required=True, choices=list_designs())
-    synth.add_argument("--method", default="fa_aot", choices=SYNTHESIS_METHODS)
-    synth.add_argument("--seed", type=int, default=2000)
     synth.add_argument("--timing", action="store_true", help="print a timing report")
     synth.add_argument("--power", action="store_true", help="print a power report")
     synth.add_argument("--verilog", help="write the netlist to this Verilog file")
     synth.add_argument(
         "--json", help="write the metric summary as JSON to this file ('-' = stdout)"
     )
-    synth.add_argument(
-        "--random-probabilities",
-        action="store_true",
-        help="randomize input signal probabilities (Table 2 protocol)",
-    )
-    synth.add_argument(
-        "--opt-validate",
-        action="store_true",
-        help="debug: structurally validate the netlist after every opt pass",
-    )
-    _add_common_options(synth)
-    _add_opt_option(synth)
+    add_flow_options(synth)
     synth.set_defaults(func=_cmd_synth)
 
     compare = sub.add_parser("compare", help="compare several methods on one design")
     compare.add_argument("--design", required=True, choices=list_designs())
     compare.add_argument(
-        "--methods", nargs="+", default=["conventional", "csa_opt", "fa_aot"],
-        choices=SYNTHESIS_METHODS,
-    )
-    compare.add_argument("--seed", type=int, default=2000)
-    compare.add_argument(
         "--json", help="write all metric summaries as JSON to this file ('-' = stdout)"
     )
-    _add_common_options(compare)
-    _add_opt_option(compare)
+    add_flow_options(compare, exclude=("method",))
+    add_sweep_options(
+        compare, include=("method",), defaults={"methods": _DEFAULT_COMPARE_METHODS}
+    )
     compare.set_defaults(func=_cmd_compare)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--designs", nargs="*", choices=list_designs())
-    _add_common_options(table1)
-    _add_sweep_options(table1)
+    add_flow_options(table1, include=("library", "final_adder"))
+    _add_sweep_exec_options(table1)
     table1.set_defaults(func=_cmd_table1)
 
     table2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
     table2.add_argument("--designs", nargs="*", choices=list_designs())
-    table2.add_argument("--seed", type=int, default=2000)
-    _add_common_options(table2)
-    _add_sweep_options(table2)
+    add_flow_options(table2, include=("library", "final_adder", "seed"))
+    _add_sweep_exec_options(table2)
     table2.set_defaults(func=_cmd_table2)
 
     explore = sub.add_parser(
@@ -319,36 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--designs", nargs="+", choices=list_designs(),
         help="designs to sweep (default: the Table 1 design set)",
     )
-    explore.add_argument(
-        "--methods", nargs="+", default=["conventional", "csa_opt", "fa_aot"],
-        choices=SYNTHESIS_METHODS,
-    )
-    explore.add_argument(
-        "--final-adders", nargs="+", default=["cla"], choices=FINAL_ADDER_KINDS
-    )
-    explore.add_argument(
-        "--libraries", nargs="+", default=["generic_035"], choices=list(LIBRARY_NAMES)
-    )
-    explore.add_argument(
-        "--multiplication-styles", nargs="+", default=["and_array"],
-        choices=["and_array", "booth"],
-    )
-    explore.add_argument(
-        "--csd", default="off", choices=["off", "on", "both"],
-        help="sweep canonical-signed-digit coefficient recoding",
-    )
-    explore.add_argument(
-        "--random-probabilities", action="store_true",
-        help="randomize input signal probabilities (Table 2 protocol)",
-    )
-    explore.add_argument(
-        "--seeds", nargs="+", type=int, default=[2000],
-        help="seeds for fa_random / random probabilities",
-    )
-    explore.add_argument(
-        "--opt-levels", nargs="+", type=int, default=[0], choices=OPT_LEVELS,
-        help="netlist optimization levels to sweep (0 = as built)",
-    )
+    add_sweep_options(explore, defaults={"methods": _DEFAULT_COMPARE_METHODS})
     explore.add_argument(
         "--json", help="write the sweep artifact (one record per point) to this file"
     )
@@ -357,7 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--pareto", action="store_true",
         help="print the (delay, area, tree-energy) Pareto front",
     )
-    _add_sweep_options(explore)
+    _add_sweep_exec_options(explore)
     explore.set_defaults(func=_cmd_explore)
 
     return parser

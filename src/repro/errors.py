@@ -34,6 +34,16 @@ class DesignError(ReproError):
     """Problem with a benchmark design specification."""
 
 
+class ConfigError(DesignError):
+    """Invalid flow configuration: unknown knob, bad value, unknown field.
+
+    Derives from :class:`DesignError` because the legacy ``synthesize()``
+    entry point historically raised ``DesignError`` for bad knob values;
+    callers catching that keep working now that validation lives in
+    :class:`repro.api.FlowConfig`.
+    """
+
+
 class ExplorationError(ReproError):
     """Problem expanding or executing a design-space exploration sweep."""
 

@@ -23,9 +23,16 @@ def field_of(record, name: str):
     return getattr(record, name)
 
 
-def metric_of(record, name: str) -> float:
-    """Read metric ``name`` from a record as a float."""
-    return float(field_of(record, name))
+def metric_of(record, name: str):
+    """Read metric ``name`` from a record as a float.
+
+    Returns ``None`` when the metric value is ``None`` — the analysis pass
+    that produces it was skipped (``FlowConfig.analyses``).  An unknown
+    metric *name* still raises (KeyError/AttributeError), so typos fail
+    loudly instead of yielding empty analyses.
+    """
+    value = field_of(record, name)
+    return float(value) if value is not None else None
 
 
 def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -41,13 +48,19 @@ def pareto_front(
 
     Input order is preserved.  Records with identical objective vectors are
     all kept (none dominates the other), so equivalent design points stay
-    visible in the front.
+    visible in the front.  Records missing one of the objectives (a skipped
+    analysis pass) are incomparable and excluded from the front.
     """
     vectors = [tuple(metric_of(r, m) for m in objectives) for r in records]
+    valid = [not any(v is None for v in vector) for vector in vectors]
     front = []
     for i, record in enumerate(records):
+        if not valid[i]:
+            continue
         if not any(
-            _dominates(vectors[j], vectors[i]) for j in range(len(records)) if j != i
+            _dominates(vectors[j], vectors[i])
+            for j in range(len(records))
+            if j != i and valid[j]
         ):
             front.append(record)
     return front
@@ -73,13 +86,18 @@ def best_per_design(
     records: Sequence,
     metric: str = "delay_ns",
 ) -> Dict[str, object]:
-    """The record minimizing ``metric`` for each design (first wins on ties)."""
+    """The record minimizing ``metric`` for each design (first wins on ties).
+
+    Records missing the metric (a skipped analysis pass) are ignored.
+    """
     best: Dict[str, object] = {}
     for record in records:
         design = str(field_of(record, "design_name"))
-        if design not in best or metric_of(record, metric) < metric_of(
-            best[design], metric
-        ):
+        value = metric_of(record, metric)
+        if value is None:
+            continue
+        current = metric_of(best[design], metric) if design in best else None
+        if current is None or value < current:
             best[design] = record
     return best
 
@@ -101,6 +119,8 @@ def improvement_matrix(
         design = str(field_of(record, "design_name"))
         method = str(field_of(record, "method"))
         value = metric_of(record, metric)
+        if value is None:  # metric's analysis pass was skipped
+            continue
         methods = per_pair.setdefault(design, {})
         if method not in methods or value < methods[method]:
             methods[method] = value

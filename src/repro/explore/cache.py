@@ -21,8 +21,12 @@ from typing import Dict, Optional, Union
 from repro.explore.spec import SweepPoint
 
 #: bump when the record layout or the meaning of a metric changes
-#: (v2: points and records carry the ``opt_level`` optimization axis)
-CACHE_SCHEMA_VERSION = 2
+#: (v2: points and records carry the ``opt_level`` optimization axis;
+#: v3: points derive from the FlowConfig schema — canonical ``cache_key``
+#: identity, plus the ``multiplier_style`` / ``fold_square_products`` /
+#: ``analyses`` knobs; records embed the full ``config`` dict).  Entries
+#: written by an older schema are treated as plain misses, never errors.
+CACHE_SCHEMA_VERSION = 3
 
 
 class ResultCache:

@@ -27,12 +27,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.flow import Flow
+from repro.api.result import FlowResult
 from repro.designs.base import DatapathDesign
-from repro.designs.registry import get_design, with_random_probabilities
 from repro.explore.cache import ResultCache
 from repro.explore.spec import SweepPoint, SweepSpec
-from repro.flows.synthesis import SynthesisResult, synthesize
-from repro.tech.default_libs import resolve_library
 from repro.tech.library import TechLibrary
 
 
@@ -40,29 +39,18 @@ def execute_point(
     point: SweepPoint,
     design: Optional[DatapathDesign] = None,
     library: Optional[TechLibrary] = None,
-) -> SynthesisResult:
+) -> FlowResult:
     """Synthesize one sweep point, returning the full result.
 
-    ``design`` / ``library`` may be passed to reuse already-built objects
-    (the comparison harness does); otherwise they are rebuilt from the
-    point's registry names, which is what pool workers do.
+    The point's cache-relevant fields *are* a :class:`repro.api.FlowConfig`
+    (see ``SweepPoint.config()``), so this is just one staged
+    :class:`repro.api.Flow` run.  ``design`` / ``library`` may be passed to
+    reuse already-built objects (the comparison harness does); otherwise
+    they are rebuilt from the point's registry names, which is what pool
+    workers do.
     """
-    if design is None:
-        design = get_design(point.design)
-        if point.random_probabilities:
-            design = with_random_probabilities(design, seed=point.seed)
-    if library is None:
-        library = resolve_library(point.library)
-    return synthesize(
-        design,
-        method=point.method,
-        library=library,
-        final_adder=point.final_adder,
-        seed=point.seed,
-        use_csd_coefficients=point.use_csd_coefficients,
-        multiplication_style=point.multiplication_style,
-        opt_level=point.opt_level,
-    )
+    flow = Flow(point.config())
+    return flow.run(design if design is not None else point.design, library=library)
 
 
 def _run_one(point: SweepPoint) -> Tuple[Optional[Dict], Optional[str], float]:

@@ -10,6 +10,7 @@ from typing import Dict, List, Sequence, Union
 from repro._version import __version__
 from repro.explore.analysis import DEFAULT_OBJECTIVES, pareto_front_by_design
 from repro.explore.engine import SweepResult
+from repro.explore.spec import point_field_names
 from repro.utils.tables import TextTable
 
 #: metric columns exported to CSV and shown in the text report, in order
@@ -23,18 +24,9 @@ _METRIC_COLUMNS = (
     "ha_count",
 )
 
-#: point columns identifying each row
-_POINT_COLUMNS = (
-    "design",
-    "method",
-    "final_adder",
-    "library",
-    "multiplication_style",
-    "use_csd_coefficients",
-    "random_probabilities",
-    "seed",
-    "opt_level",
-)
+#: point columns identifying each row — derived from the FlowConfig schema
+#: (via SweepPoint), so new knobs appear in artifacts automatically
+_POINT_COLUMNS = point_field_names()
 
 
 def sweep_to_json_obj(sweep: SweepResult) -> Dict[str, object]:
@@ -74,7 +66,10 @@ def write_csv(sweep: SweepResult, path: Union[str, Path]) -> Path:
         writer.writerow(header)
         for outcome in sweep.outcomes:
             point = outcome.point.to_dict()
-            row: List[object] = [point[name] for name in _POINT_COLUMNS]
+            row: List[object] = [
+                "+".join(str(v) for v in value) if isinstance(value, list) else value
+                for value in (point[name] for name in _POINT_COLUMNS)
+            ]
             if outcome.metrics is not None:
                 row += [outcome.metrics.get(name) for name in _METRIC_COLUMNS]
             else:

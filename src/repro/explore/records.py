@@ -1,10 +1,14 @@
 """Metric records: the JSON-able summary of one synthesis run.
 
 :class:`PointMetrics` mirrors the metric fields of
-:class:`repro.flows.synthesis.SynthesisResult` (as produced by its
-``to_dict()``) without carrying the netlist, so sweep results can be cached,
-shipped between processes and fed to the Table 1/2 report builders, which
-only read metric attributes.
+:class:`repro.api.result.FlowResult` (as produced by its ``to_dict()``)
+without carrying the netlist, so sweep results can be cached, shipped
+between processes and fed to the Table 1/2 report builders, which only read
+metric attributes.
+
+Metrics of analysis passes that were skipped (``FlowConfig.analyses``) are
+``None`` — :meth:`PointMetrics.from_dict` accepts records produced by a
+timing-only sweep as well as full-analysis records.
 
 This module deliberately has no imports from the flow layer, so the report
 and comparison layers can import it without cycles.
@@ -14,6 +18,18 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional
+
+from repro.utils.metrics import summary_line
+
+
+def _opt_float(data: Mapping[str, object], key: str) -> Optional[float]:
+    value = data.get(key)
+    return float(value) if value is not None else None  # type: ignore[arg-type]
+
+
+def _opt_int(data: Mapping[str, object], key: str) -> Optional[int]:
+    value = data.get(key)
+    return int(value) if value is not None else None  # type: ignore[arg-type]
 
 
 @dataclass
@@ -25,10 +41,10 @@ class PointMetrics:
     final_adder: str
     library_name: str
     output_width: int
-    delay_ns: float
-    area: float
-    total_energy: float
-    tree_energy: float
+    delay_ns: Optional[float]
+    area: Optional[float]
+    total_energy: Optional[float]
+    tree_energy: Optional[float]
     cell_count: int
     fa_count: int
     ha_count: int
@@ -40,32 +56,28 @@ class PointMetrics:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "PointMetrics":
-        """Rebuild from a ``SynthesisResult.to_dict()`` / cache record."""
+        """Rebuild from a ``FlowResult.to_dict()`` / cache record.
+
+        Metric keys of skipped analyses may be missing or ``None`` (e.g. a
+        timing-only sweep record has no energies); they map to ``None``.
+        """
         return cls(
             design_name=str(data["design_name"]),
             method=str(data["method"]),
             final_adder=str(data["final_adder"]),
             library_name=str(data["library_name"]),
             output_width=int(data["output_width"]),
-            delay_ns=float(data["delay_ns"]),
-            area=float(data["area"]),
-            total_energy=float(data["total_energy"]),
-            tree_energy=float(data["tree_energy"]),
+            delay_ns=_opt_float(data, "delay_ns"),
+            area=_opt_float(data, "area"),
+            total_energy=_opt_float(data, "total_energy"),
+            tree_energy=_opt_float(data, "tree_energy"),
             cell_count=int(data["cell_count"]),
             fa_count=int(data["fa_count"]),
             ha_count=int(data["ha_count"]),
             max_final_arrival=float(data["max_final_arrival"]),
             opt_level=int(data.get("opt_level", 0) or 0),
-            pre_opt_cell_count=(
-                int(data["pre_opt_cell_count"])
-                if data.get("pre_opt_cell_count") is not None
-                else None
-            ),
-            opt_cells_removed=(
-                int(data["opt_cells_removed"])
-                if data.get("opt_cells_removed") is not None
-                else None
-            ),
+            pre_opt_cell_count=_opt_int(data, "pre_opt_cell_count"),
+            opt_cells_removed=_opt_int(data, "opt_cells_removed"),
             notes=list(data.get("notes", ())),
         )
 
@@ -75,8 +87,13 @@ class PointMetrics:
 
     def summary(self) -> str:
         """One-line summary in the same format as ``SynthesisResult.summary``."""
-        return (
-            f"{self.design_name:<18} {self.method:<16} delay={self.delay_ns:6.3f} ns  "
-            f"area={self.area:9.1f}  E_tree={self.tree_energy:9.3f}  "
-            f"cells={self.cell_count:5d} (FA={self.fa_count}, HA={self.ha_count})"
+        return summary_line(
+            self.design_name,
+            self.method,
+            self.delay_ns,
+            self.area,
+            self.tree_energy,
+            self.cell_count,
+            self.fa_count,
+            self.ha_count,
         )

@@ -1,12 +1,23 @@
-"""Declarative sweep specifications for design-space exploration.
+"""Declarative sweep specifications, derived from the FlowConfig schema.
 
-A :class:`SweepPoint` names one fully-determined synthesis run (design,
-allocation method, final adder, library, partial-product style, CSD option,
-probability protocol, seed, netlist optimization level) with only plain,
-hashable, picklable values —
-worker processes and the on-disk cache both key off it.  A
-:class:`SweepSpec` describes a cartesian grid over those axes plus optional
-constraint filters and expands to a list of points.
+A :class:`SweepPoint` names one fully-determined synthesis run: a design
+name plus every :class:`repro.api.FlowConfig` field.  Both
+:class:`SweepPoint` and :class:`SweepSpec` are **built dynamically from the
+config schema** (:func:`repro.api.config.config_fields`):
+
+* every config field is a ``SweepPoint`` field; the cache-relevant ones
+  form its cache key (debug knobs like ``opt_validate`` ride along to the
+  executing flow without fragmenting the cache);
+* every field with a sweep ``axis`` becomes a plural ``SweepSpec`` axis
+  (``methods``, ``final_adders``, ``opt_levels``, ...) swept in the grid;
+* the remaining flagged fields (``random_probabilities``, ``analyses``,
+  ``opt_validate``) become per-sweep scalars.
+
+Adding a field to ``FlowConfig`` therefore adds the sweep axis and the
+cache-key entry here with no code changes.  Points hold only plain,
+hashable, picklable values, so worker processes and the on-disk cache both
+key off them; canonicalization (don't-care knobs reset) is delegated to
+:meth:`FlowConfig.canonical` so the grid never schedules duplicate work.
 
 The paper's Table 1 and Table 2 are just two small presets of this grid
 (see :func:`table1_spec` / :func:`table2_spec`).
@@ -17,210 +28,245 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import field, make_dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.errors import ExplorationError
+from repro.api.config import FlowConfig, config_fields
+from repro.errors import ConfigError, ExplorationError
 
-#: methods whose netlist does not depend on the matrix-construction axes
-#: (partial-product style, CSD recoding); used to canonicalize points so the
-#: grid does not schedule duplicate work for them.
-_MATRIX_FREE_METHODS = ("conventional",)
+#: resolved field specs, split by role (computed once at import time)
+_ALL_SPECS = config_fields()
+_AXIS_SPECS = tuple(s for s in _ALL_SPECS if s.axis is not None)
+_SCALAR_SPECS = tuple(s for s in _ALL_SPECS if s.axis is None)
+_DEFAULTS = {s.name: s.default for s in _ALL_SPECS}
 
-#: fields of :class:`SweepPoint`, in canonical (cache-key) order
-_POINT_FIELDS = (
-    "design",
-    "method",
-    "final_adder",
-    "library",
-    "multiplication_style",
-    "use_csd_coefficients",
-    "random_probabilities",
-    "seed",
-    "opt_level",
-)
+#: fields of :class:`SweepPoint`: the design plus every config knob.
+#: Non-cache-relevant knobs (``opt_validate``) ride along so they reach the
+#: executing flow, but are excluded from the cache identity (:meth:`key`).
+_POINT_FIELDS = ("design",) + tuple(s.name for s in _ALL_SPECS)
 
 
-@dataclass(frozen=True)
-class SweepPoint:
-    """One fully-determined synthesis run inside a sweep.
+def point_field_names() -> Tuple[str, ...]:
+    """The :class:`SweepPoint` field names, in canonical order."""
+    return _POINT_FIELDS
 
-    Every field is a plain scalar so points can be pickled to worker
-    processes, hashed into cache keys and serialized to JSON artifacts.
+
+# ----------------------------------------------------------------------
+# SweepPoint (dynamically derived from the FlowConfig schema)
+# ----------------------------------------------------------------------
+
+
+def _point_to_dict(self) -> Dict[str, object]:
+    """Plain-dict view with JSON-stable types (tuples -> lists)."""
+    out: Dict[str, object] = {}
+    for name in _POINT_FIELDS:
+        value = getattr(self, name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[name] = value
+    return out
+
+
+def _point_from_dict(cls, data: Dict[str, object]) -> "SweepPoint":
+    """Rebuild a point from :meth:`to_dict` output (extra keys ignored)."""
+    values: Dict[str, object] = {}
+    for name in _POINT_FIELDS:
+        if name in data:
+            value = data[name]
+            if isinstance(value, list):
+                value = tuple(value)
+            values[name] = value
+    return cls(**values)
+
+
+def _point_config(self) -> FlowConfig:
+    """The :class:`FlowConfig` this point describes (validates on build)."""
+    return FlowConfig(**{s.name: getattr(self, s.name) for s in _ALL_SPECS})
+
+
+def _point_from_config(cls, design: str, config: FlowConfig) -> "SweepPoint":
+    """Build a point for ``design`` from a config (inverse of ``config()``)."""
+    return cls(design=design, **{s.name: getattr(config, s.name) for s in _ALL_SPECS})
+
+
+def _point_canonical(self) -> "SweepPoint":
+    """Normalized copy with don't-care knobs reset (see FlowConfig.canonical)."""
+    return type(self).from_config(self.design, self.config().canonical())
+
+
+def _point_key(self) -> str:
+    """Stable content key identifying this point (cache identity).
+
+    Built from ``design`` plus :meth:`FlowConfig.cache_dict`, so it is
+    canonical (don't-care knobs reset), restricted to cache-relevant fields
+    (``opt_validate`` does not fragment the cache) and independent of field
+    declaration order (keys are sorted).
     """
+    data = self.config().cache_dict()
+    data["design"] = self.design
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
-    design: str
-    method: str = "fa_aot"
-    final_adder: str = "cla"
-    library: str = "generic_035"
-    multiplication_style: str = "and_array"
-    use_csd_coefficients: bool = False
-    random_probabilities: bool = False
-    #: ``None`` requests an unseeded (nondeterministic) ``fa_random`` draw
-    seed: Optional[int] = 2000
-    #: post-construction netlist optimization level (``repro.opt``)
-    opt_level: int = 0
 
-    def canonical(self) -> "SweepPoint":
-        """Normalized copy with don't-care axes reset.
+def _point_digest(self) -> str:
+    """Short hex digest of :meth:`key` — used as the cache file name."""
+    return hashlib.sha256(self.key().encode("utf-8")).hexdigest()[:32]
 
-        Matrix-construction axes are reset for matrix-free methods, and the
-        seed is reset when nothing random depends on it (only ``fa_random``
-        and the random-probability protocol consume it), so a multi-seed
-        grid never schedules or caches duplicate deterministic work.
-        """
-        point = self
-        if point.method in _MATRIX_FREE_METHODS and (
-            point.multiplication_style != "and_array" or point.use_csd_coefficients
-        ):
-            point = replace(
-                point, multiplication_style="and_array", use_csd_coefficients=False
-            )
-        if point.method != "fa_random" and not point.random_probabilities:
-            if point.seed != 2000:
-                point = replace(point, seed=2000)
-        return point
 
-    def to_dict(self) -> Dict[str, object]:
-        """Plain-dict view in canonical field order (JSON artifacts, cache)."""
-        return {name: getattr(self, name) for name in _POINT_FIELDS}
+def _point_label(self) -> str:
+    """Compact human-readable identifier for progress lines and reports."""
+    parts = [self.design, self.method, self.final_adder]
+    if self.library != _DEFAULTS["library"]:
+        parts.append(self.library)
+    if self.multiplication_style != _DEFAULTS["multiplication_style"]:
+        parts.append(self.multiplication_style)
+    if self.use_csd_coefficients:
+        parts.append("csd")
+    if self.fold_square_products:
+        parts.append("foldsq")
+    if self.multiplier_style != _DEFAULTS["multiplier_style"]:
+        parts.append(self.multiplier_style)
+    if self.random_probabilities:
+        parts.append(f"randp{self.seed}")
+    if self.opt_level:
+        parts.append(f"O{self.opt_level}")
+    if tuple(self.analyses) != tuple(_DEFAULTS["analyses"]):
+        parts.append("a:" + "+".join(self.analyses))
+    return "/".join(parts)
 
-    @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "SweepPoint":
-        """Rebuild a point from :meth:`to_dict` output."""
-        return cls(**{name: data[name] for name in _POINT_FIELDS if name in data})
 
-    def key(self) -> str:
-        """Stable content key identifying this point (cache identity)."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-
-    def digest(self) -> str:
-        """Short hex digest of :meth:`key` — used as the cache file name."""
-        return hashlib.sha256(self.key().encode("utf-8")).hexdigest()[:32]
-
-    def label(self) -> str:
-        """Compact human-readable identifier for progress lines and reports."""
-        parts = [self.design, self.method, self.final_adder]
-        if self.library != "generic_035":
-            parts.append(self.library)
-        if self.multiplication_style != "and_array":
-            parts.append(self.multiplication_style)
-        if self.use_csd_coefficients:
-            parts.append("csd")
-        if self.random_probabilities:
-            parts.append(f"randp{self.seed}")
-        if self.opt_level:
-            parts.append(f"O{self.opt_level}")
-        return "/".join(parts)
+SweepPoint = make_dataclass(
+    "SweepPoint",
+    [("design", str)]
+    + [(s.name, object, field(default=s.default)) for s in _ALL_SPECS],
+    frozen=True,
+    namespace={
+        "__doc__": (
+            "One fully-determined synthesis run inside a sweep.\n\n"
+            "    Derived dynamically from the FlowConfig schema: the fields are\n"
+            "    ``design`` plus every config field, so a new config knob is\n"
+            "    automatically part of every point; cache-relevant fields form\n"
+            "    the cache key (``key()``).  Values are plain scalars/tuples:\n"
+            "    picklable to worker processes, hashable, JSON-serializable.\n    "
+        ),
+        "to_dict": _point_to_dict,
+        "from_dict": classmethod(_point_from_dict),
+        "config": _point_config,
+        "from_config": classmethod(_point_from_config),
+        "canonical": _point_canonical,
+        "key": _point_key,
+        "digest": _point_digest,
+        "label": _point_label,
+    },
+)
+SweepPoint.__module__ = __name__  # make instances picklable to pool workers
 
 
 #: a constraint takes a point and returns True to keep it
-Constraint = Callable[[SweepPoint], bool]
+Constraint = Callable[["SweepPoint"], bool]
 
 
-@dataclass
-class SweepSpec:
-    """A cartesian grid of sweep points with optional constraint filters.
+# ----------------------------------------------------------------------
+# SweepSpec (axes likewise derived from the FlowConfig schema)
+# ----------------------------------------------------------------------
 
-    ``expand()`` produces the full design x method x final-adder x library x
-    multiplication-style x CSD x opt-level x seed product (designs
-    outermost, seeds innermost), canonicalizes each point, drops duplicates,
-    validates the axis values and applies every constraint in order.
-    """
 
-    designs: Sequence[str]
-    methods: Sequence[str] = ("fa_aot",)
-    final_adders: Sequence[str] = ("cla",)
-    libraries: Sequence[str] = ("generic_035",)
-    multiplication_styles: Sequence[str] = ("and_array",)
-    csd_options: Sequence[bool] = (False,)
-    random_probabilities: bool = False
-    opt_levels: Sequence[int] = (0,)
-    seeds: Sequence[int] = (2000,)
-    constraints: Sequence[Constraint] = field(default_factory=tuple)
+def _spec_validate(self) -> None:
+    from repro.designs.registry import list_designs
 
-    def _validate(self) -> None:
-        from repro.adders.factory import FINAL_ADDER_KINDS
-        from repro.designs.registry import list_designs
-        from repro.flows.synthesis import SYNTHESIS_METHODS
-        from repro.opt.manager import OPT_LEVELS
-        from repro.tech.default_libs import LIBRARY_NAMES
+    if not self.designs:
+        raise ExplorationError("sweep spec has no designs")
 
-        def check(axis: str, values: Sequence, allowed: Sequence) -> None:
-            unknown = [v for v in values if v not in allowed]
-            if unknown:
-                raise ExplorationError(
-                    f"unknown {axis} {unknown!r}; expected values from {tuple(allowed)}"
-                )
+    def check(label: str, values: Sequence, allowed: Sequence) -> None:
+        unknown = [v for v in values if v not in allowed]
+        if unknown:
+            raise ExplorationError(
+                f"unknown {label} {unknown!r}; expected values from {tuple(allowed)}"
+            )
 
-        if not self.designs:
-            raise ExplorationError("sweep spec has no designs")
-        check("design(s)", self.designs, list_designs())
-        check("method(s)", self.methods, SYNTHESIS_METHODS)
-        check("final adder(s)", self.final_adders, FINAL_ADDER_KINDS)
-        check("library(ies)", self.libraries, LIBRARY_NAMES)
-        check(
-            "multiplication style(s)",
-            self.multiplication_styles,
-            ("and_array", "booth"),
-        )
-        check("opt level(s)", self.opt_levels, OPT_LEVELS)
+    check("design(s)", self.designs, list_designs())
+    # choices are re-resolved here (not taken from the import-time snapshot)
+    # so analyses registered after import are immediately sweepable
+    fresh = {s.name: s for s in config_fields()}
+    for spec in _AXIS_SPECS:
+        choices = fresh[spec.name].choices
+        if choices is not None:
+            check(f"{spec.name} value(s)", getattr(self, spec.axis), choices)
+    for spec in _SCALAR_SPECS:
+        choices = fresh[spec.name].choices
+        if spec.kind == "names" and choices is not None:
+            check(f"{spec.name} value(s)", getattr(self, spec.name), choices)
 
-    def expand(self) -> List[SweepPoint]:
-        """Expand the grid into a deduplicated, constraint-filtered point list."""
-        self._validate()
-        points: List[SweepPoint] = []
-        seen: set = set()
-        # rightmost axes vary fastest, matching the declared axis order
-        grid = itertools.product(
-            self.designs,
-            self.methods,
-            self.final_adders,
-            self.libraries,
-            self.multiplication_styles,
-            self.csd_options,
-            self.opt_levels,
-            self.seeds,
-        )
-        for design, method, final_adder, library, style, csd, opt_level, seed in grid:
-            point = SweepPoint(
-                design=design,
-                method=method,
-                final_adder=final_adder,
-                library=library,
-                multiplication_style=style,
-                use_csd_coefficients=csd,
-                random_probabilities=self.random_probabilities,
-                seed=seed,
-                opt_level=opt_level,
-            ).canonical()
-            if point.key() in seen:
-                continue
-            if not all(c(point) for c in self.constraints):
-                continue
-            seen.add(point.key())
-            points.append(point)
-        return points
 
-    def size_bound(self) -> int:
-        """Upper bound on the grid size before dedup/constraints."""
-        return (
-            len(self.designs)
-            * len(self.methods)
-            * len(self.final_adders)
-            * len(self.libraries)
-            * len(self.multiplication_styles)
-            * len(self.csd_options)
-            * len(self.opt_levels)
-            * len(self.seeds)
-        )
+def _spec_expand(self) -> List["SweepPoint"]:
+    """Expand the grid into a deduplicated, constraint-filtered point list."""
+    self._validate()
+    scalars = {s.name: getattr(self, s.name) for s in _SCALAR_SPECS}
+    points: List["SweepPoint"] = []
+    seen: set = set()
+    # rightmost axes vary fastest, matching the declared axis order
+    # (designs outermost, seeds innermost)
+    grid = itertools.product(
+        tuple(self.designs), *[tuple(getattr(self, s.axis)) for s in _AXIS_SPECS]
+    )
+    for combo in grid:
+        values = dict(zip((s.name for s in _AXIS_SPECS), combo[1:]))
+        values.update(scalars)
+        try:
+            config = FlowConfig(**values)
+        except ConfigError as exc:
+            raise ExplorationError(str(exc))
+        point = SweepPoint.from_config(combo[0], config.canonical())
+        key = point.key()
+        if key in seen:
+            continue
+        if not all(c(point) for c in self.constraints):
+            continue
+        seen.add(key)
+        points.append(point)
+    return points
+
+
+def _spec_size_bound(self) -> int:
+    """Upper bound on the grid size before dedup/constraints."""
+    size = len(self.designs)
+    for spec in _AXIS_SPECS:
+        size *= len(getattr(self, spec.axis))
+    return size
+
+
+SweepSpec = make_dataclass(
+    "SweepSpec",
+    [("designs", Sequence)]
+    + [(s.axis, Sequence, field(default=(s.default,))) for s in _AXIS_SPECS]
+    + [(s.name, object, field(default=s.default)) for s in _SCALAR_SPECS]
+    + [("constraints", Sequence, field(default=()))],
+    namespace={
+        "__doc__": (
+            "A cartesian grid of sweep points with optional constraint\n"
+            "    filters, derived from the FlowConfig schema: every sweepable\n"
+            "    config field contributes one plural axis (``methods``,\n"
+            "    ``final_adders``, ``libraries``, ``multiplication_styles``,\n"
+            "    ``csd_options``, ``fold_square_options``,\n"
+            "    ``multiplier_styles``, ``opt_levels``, ``seeds``), the rest\n"
+            "    are per-sweep scalars (``random_probabilities``,\n"
+            "    ``analyses``, ``opt_validate``).  ``expand()`` produces the\n"
+            "    full product (designs outermost, seeds innermost),\n"
+            "    canonicalizes each point, drops duplicates, validates the\n"
+            "    axis values and applies every constraint in order.\n    "
+        ),
+        "_validate": _spec_validate,
+        "expand": _spec_expand,
+        "size_bound": _spec_size_bound,
+    },
+)
+SweepSpec.__module__ = __name__
 
 
 def table1_spec(
     designs: Sequence[str],
     library: str = "generic_035",
     final_adder: str = "cla",
-) -> SweepSpec:
+) -> "SweepSpec":
     """The Table 1 protocol: conventional / CSA_OPT / FA_AOT, default inputs."""
     return SweepSpec(
         designs=tuple(designs),
@@ -235,7 +281,7 @@ def table2_spec(
     seed: int = 2000,
     library: str = "generic_035",
     final_adder: str = "cla",
-) -> SweepSpec:
+) -> "SweepSpec":
     """The Table 2 protocol: FA_random vs FA_ALP with random probabilities."""
     return SweepSpec(
         designs=tuple(designs),

@@ -3,6 +3,7 @@
 from repro.flows.synthesis import (
     MATRIX_METHODS,
     SYNTHESIS_METHODS,
+    FlowResult,
     SynthesisResult,
     synthesize,
 )
@@ -16,6 +17,7 @@ from repro.flows.compare import (
 __all__ = [
     "MATRIX_METHODS",
     "SYNTHESIS_METHODS",
+    "FlowResult",
     "SynthesisResult",
     "synthesize",
     "ComparisonRow",

@@ -50,15 +50,29 @@ class ComparisonRow:
 
     def delay_improvement(self, reference: str, method: str) -> float:
         """Delay improvement (percent) of ``method`` over ``reference``."""
-        return improvement_pct(self.delay(reference), self.delay(method))
+        return _guarded_improvement(self.delay(reference), self.delay(method))
 
     def area_improvement(self, reference: str, method: str) -> float:
         """Area improvement (percent) of ``method`` over ``reference``."""
-        return improvement_pct(self.area(reference), self.area(method))
+        return _guarded_improvement(self.area(reference), self.area(method))
 
     def energy_improvement(self, reference: str, method: str) -> float:
         """Tree-energy improvement (percent) of ``method`` over ``reference``."""
-        return improvement_pct(self.tree_energy(reference), self.tree_energy(method))
+        return _guarded_improvement(
+            self.tree_energy(reference), self.tree_energy(method)
+        )
+
+
+def _guarded_improvement(reference: Optional[float], improved: Optional[float]) -> float:
+    """Improvement percent, NaN-guarded against degenerate references.
+
+    A zero-valued reference metric (a constant-folded output, a skipped
+    analysis) would make the percentage meaningless; return ``nan`` instead
+    of dividing by zero so report code can render/skip it explicitly.
+    """
+    if not reference or improved is None:
+        return float("nan")
+    return improvement_pct(reference, improved)
 
 
 def compare_methods(
@@ -68,26 +82,34 @@ def compare_methods(
     final_adder: str = "cla",
     seed: Optional[int] = 2000,
     opt_level: int = 0,
+    config: Optional["FlowConfig"] = None,  # noqa: F821 - forward ref
 ) -> ComparisonRow:
     """Synthesize ``design`` with every method and collect the full results.
 
     Runs each method through the exploration engine's single-point path, so
     this harness and ``repro.explore`` sweeps stay behaviourally identical.
+    A full :class:`repro.api.FlowConfig` may be passed via ``config`` (its
+    ``method`` field is replaced per compared method); the individual
+    keyword knobs remain as a convenience shorthand and are ignored when
+    ``config`` is given.
     """
     # imported lazily: repro.explore.engine imports this flow package
+    from dataclasses import replace
+
+    from repro.api.config import FlowConfig, library_field_value
     from repro.explore.engine import execute_point
     from repro.explore.spec import SweepPoint
 
-    row = ComparisonRow(design=design)
-    for method in methods:
-        point = SweepPoint(
-            design=design.name,
-            method=method,
+    if config is None:
+        config = FlowConfig(
             final_adder=final_adder,
-            library=library.name if library is not None else "generic_035",
+            library=library_field_value(library),
             seed=seed,
             opt_level=opt_level,
         )
+    row = ComparisonRow(design=design)
+    for method in methods:
+        point = SweepPoint.from_config(design.name, replace(config, method=method))
         row.results[method] = execute_point(point, design=design, library=library)
     return row
 

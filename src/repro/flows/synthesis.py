@@ -1,332 +1,65 @@
-"""The end-to-end synthesis flow: design in, analysed netlist out.
+"""Back-compat synthesis entry point over the staged :mod:`repro.api` flow.
 
-``synthesize`` ties every substrate together:
+``synthesize`` used to hand-wire the whole pipeline (and re-declare every
+knob in its signature); it is now a thin shim that packs its keyword
+arguments into a :class:`repro.api.FlowConfig` and delegates to
+:class:`repro.api.Flow`, so the flow knobs live in exactly one place.  The
+historical names (``SynthesisResult``, ``SYNTHESIS_METHODS``,
+``MATRIX_METHODS``) are re-exported here for existing imports.
 
-1. the expression is flattened to an addend matrix (except for the
-   ``conventional`` method, which builds an operator-level netlist directly);
-2. the matrix is reduced with the requested allocation method — the paper's
-   FA_AOT / FA_ALP, the FA_random baseline, the classic Wallace / Dadda
-   schemes, the column-isolation variant or the word-level CSA_OPT baseline;
-3. the two remaining rows are summed by a final carry-propagate adder;
-4. the finished netlist is analysed: static timing with the technology
-   library, area, probabilistic power (both the paper's E_switching(T) tree
-   metric and whole-netlist energy).
+Prefer the explicit form for new code::
 
-The returned :class:`SynthesisResult` carries the netlist plus all metrics, so
-tests, examples and benchmarks all go through this single entry point.
+    from repro.api import Flow, FlowConfig
+
+    result = Flow(FlowConfig(method="fa_aot", opt_level=2)).run(design)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional, Union
 
-from repro.adders.factory import FINAL_ADDER_KINDS, build_final_adder
-from repro.baselines.conventional import conventional_synthesis
-from repro.baselines.csa_opt import csa_opt_reduce
-from repro.baselines.dadda import dadda_reduce
-from repro.baselines.wallace import wallace_reduce
-from repro.bitmatrix.builder import MatrixBuildResult, build_addend_matrix
-from repro.core.delay_model import FADelayModel
-from repro.core.fa_alp import fa_alp
-from repro.core.fa_aot import fa_aot
-from repro.core.fa_random import fa_random
-from repro.core.power_model import FAPowerModel
-from repro.core.result import CompressionResult
-from repro.designs.base import DatapathDesign
-from repro.errors import DesignError
-from repro.netlist.cells import CellType
-from repro.netlist.core import Bus, Netlist
-from repro.netlist.stats import NetlistStats, netlist_stats
-from repro.opt.manager import OPT_LEVELS, optimize_netlist
-from repro.opt.report import OptReport
-from repro.power.probability import ProbabilityResult, propagate_probabilities
-from repro.power.switching import PowerResult, estimate_power
-from repro.tech.default_libs import generic_035
-from repro.tech.library import TechLibrary
-from repro.timing.arrival import TimingResult, compute_arrival_times
-
-#: methods that go through the addend matrix + compressor tree pipeline
-MATRIX_METHODS = (
-    "fa_aot",
-    "fa_alp",
-    "fa_random",
-    "wallace",
-    "dadda",
-    "csa_opt",
-    "column_isolation",
+from repro.api.config import (  # noqa: F401  (re-exported legacy names)
+    MATRIX_METHODS,
+    SYNTHESIS_METHODS,
+    FlowConfig,
+    library_field_value,
 )
+from repro.api.flow import Flow
+from repro.api.result import FlowResult, SynthesisResult  # noqa: F401
+from repro.designs.base import DatapathDesign
+from repro.tech.library import TechLibrary
 
-#: every method accepted by :func:`synthesize`
-SYNTHESIS_METHODS = MATRIX_METHODS + ("conventional",)
-
-
-@dataclass
-class SynthesisResult:
-    """Everything produced by one synthesis run of one design."""
-
-    design_name: str
-    method: str
-    netlist: Netlist
-    output_bus: Bus
-    output_width: int
-    final_adder: str
-    library_name: str
-    delay_ns: float
-    area: float
-    total_energy: float
-    tree_energy: float
-    cell_count: int
-    fa_count: int
-    ha_count: int
-    max_final_arrival: float
-    timing: TimingResult
-    power: PowerResult
-    probabilities: ProbabilityResult
-    stats: NetlistStats
-    compression: Optional[CompressionResult] = None
-    matrix_build: Optional[MatrixBuildResult] = None
-    notes: List[str] = field(default_factory=list)
-    opt_level: int = 0
-    opt_report: Optional[OptReport] = None
-    pre_opt_stats: Optional[NetlistStats] = None
-
-    def summary(self) -> str:
-        """One-line result summary."""
-        text = (
-            f"{self.design_name:<18} {self.method:<16} delay={self.delay_ns:6.3f} ns  "
-            f"area={self.area:9.1f}  E_tree={self.tree_energy:9.3f}  "
-            f"cells={self.cell_count:5d} (FA={self.fa_count}, HA={self.ha_count})"
-        )
-        if self.opt_level:
-            text += f"  -O{self.opt_level}"
-        return text
-
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-able metric summary (no netlist, no analysis internals).
-
-        This is the record shape used by the exploration engine, its result
-        cache and the ``--json`` CLI outputs;
-        :class:`repro.explore.records.PointMetrics` is its typed mirror.
-        """
-        return {
-            "design_name": self.design_name,
-            "method": self.method,
-            "final_adder": self.final_adder,
-            "library_name": self.library_name,
-            "output_width": self.output_width,
-            "delay_ns": self.delay_ns,
-            "area": self.area,
-            "total_energy": self.total_energy,
-            "tree_energy": self.tree_energy,
-            "cell_count": self.cell_count,
-            "fa_count": self.fa_count,
-            "ha_count": self.ha_count,
-            "max_final_arrival": self.max_final_arrival,
-            "opt_level": self.opt_level,
-            "pre_opt_cell_count": (
-                self.pre_opt_stats.num_cells if self.pre_opt_stats is not None else None
-            ),
-            "opt_cells_removed": (
-                self.opt_report.cells_removed if self.opt_report is not None else None
-            ),
-            "notes": list(self.notes),
-        }
-
-
-def _reduce_matrix(
-    method: str,
-    build: MatrixBuildResult,
-    delay_model: FADelayModel,
-    power_model: FAPowerModel,
-    seed: Optional[int],
-) -> CompressionResult:
-    """Dispatch to the requested compressor-tree allocation method."""
-    netlist, matrix = build.netlist, build.matrix
-    if method == "fa_aot":
-        return fa_aot(netlist, matrix, delay_model, power_model)
-    if method == "fa_alp":
-        return fa_alp(netlist, matrix, delay_model, power_model)
-    if method == "fa_random":
-        return fa_random(netlist, matrix, delay_model, power_model, seed=seed)
-    if method == "wallace":
-        return wallace_reduce(netlist, matrix, delay_model, power_model)
-    if method == "dadda":
-        return dadda_reduce(netlist, matrix, delay_model, power_model)
-    if method == "csa_opt":
-        return csa_opt_reduce(netlist, matrix, delay_model, power_model)
-    if method == "column_isolation":
-        return fa_aot(netlist, matrix, delay_model, power_model, column_interaction=False)
-    raise DesignError(f"unknown matrix method {method!r}")
+__all__ = [
+    "MATRIX_METHODS",
+    "SYNTHESIS_METHODS",
+    "FlowResult",
+    "SynthesisResult",
+    "synthesize",
+]
 
 
 def synthesize(
-    design: DatapathDesign,
+    design: Union[DatapathDesign, str],
     method: str = "fa_aot",
     library: Optional[TechLibrary] = None,
-    final_adder: str = "cla",
-    seed: Optional[int] = 2000,
-    multiplier_style: str = "wallace_cpa",
-    use_csd_coefficients: bool = False,
-    multiplication_style: str = "and_array",
-    fold_square_products: bool = False,
-    opt_level: int = 0,
-    opt_validate: bool = False,
-) -> SynthesisResult:
+    **config_kwargs: object,
+) -> FlowResult:
     """Synthesize ``design`` with the chosen method and analyse the result.
 
-    Parameters
-    ----------
-    method:
-        One of :data:`SYNTHESIS_METHODS`.
-    library:
-        Technology library (defaults to the generic 0.35 um-like library).
-    final_adder:
-        Final carry-propagate adder architecture (one of
-        :data:`repro.adders.FINAL_ADDER_KINDS`).
-    seed:
-        Random seed for the ``fa_random`` baseline.
-    multiplier_style:
-        Multiplier macro style for the ``conventional`` method.
-    use_csd_coefficients:
-        Recode constant coefficients in canonical signed-digit form when
-        building the addend matrix.
-    multiplication_style:
-        Partial-product generation for the matrix methods: ``"and_array"``
-        (the paper's scheme) or ``"booth"`` (radix-4 Booth recoding of
-        two-operand products).
-    fold_square_products:
-        Enable the squarer optimization (fold symmetric partial products of
-        ``x*x`` terms); an extension beyond the paper, off by default.
-    opt_level:
-        Post-construction netlist optimization level (one of
-        :data:`repro.opt.OPT_LEVELS`): 0 leaves the netlist exactly as built
-        (the paper's protocol), 1 runs safe cleanups (constant folding,
-        BUF/NOT cleanup, dead-cell elimination), 2 runs the full pipeline
-        (plus FA/HA strength reduction and structural hashing).  Optimized
-        netlists are always equivalence-checked against the as-built
-        original before analysis.
-    opt_validate:
-        Debug mode: structurally validate the netlist after every
-        optimization pass.
+    This is the legacy keyword-argument surface (knobs beyond ``method`` /
+    ``library`` are keyword-only); every keyword beyond
+    ``design`` / ``library`` is a :class:`repro.api.FlowConfig` field
+    (``final_adder``, ``seed``, ``multiplier_style``,
+    ``use_csd_coefficients``, ``multiplication_style``,
+    ``fold_square_products``, ``opt_level``, ``opt_validate``,
+    ``analyses``, ...) and is validated by the config schema — unknown
+    knobs or bad values raise :class:`repro.errors.ConfigError` (a
+    :class:`~repro.errors.DesignError`).
+
+    ``library`` takes a prebuilt :class:`TechLibrary` object (defaults to
+    the library named by the config, ``generic_035``).
     """
-    if method not in SYNTHESIS_METHODS:
-        raise DesignError(
-            f"unknown synthesis method {method!r}; expected one of {SYNTHESIS_METHODS}"
-        )
-    if opt_level not in OPT_LEVELS:
-        raise DesignError(
-            f"unknown opt level {opt_level!r}; expected one of {OPT_LEVELS}"
-        )
-    if final_adder not in FINAL_ADDER_KINDS:
-        raise DesignError(
-            f"unknown final adder {final_adder!r}; expected one of {FINAL_ADDER_KINDS}"
-        )
-    library = library or generic_035()
-    delay_model = FADelayModel.from_library(library)
-    power_model = FAPowerModel.from_library(library)
-
-    compression: Optional[CompressionResult] = None
-    matrix_build: Optional[MatrixBuildResult] = None
-    notes: List[str] = []
-
-    if method == "conventional":
-        conventional = conventional_synthesis(
-            design.expression,
-            design.signals,
-            design.output_width,
-            library=library,
-            adder_kind=final_adder,
-            multiplier_style=multiplier_style,
-            name=f"{design.name}_conventional",
-        )
-        netlist = conventional.netlist
-        output_bus = conventional.output_bus
-        fa_count = len(netlist.cells_of_type(CellType.FA))
-        ha_count = len(netlist.cells_of_type(CellType.HA))
-        max_final_arrival = 0.0
-        notes.extend(conventional.notes)
-    else:
-        matrix_build = build_addend_matrix(
-            design.expression,
-            design.signals,
-            design.output_width,
-            library=library,
-            name=f"{design.name}_{method}",
-            use_csd_coefficients=use_csd_coefficients,
-            multiplication_style=multiplication_style,
-            fold_square_products=fold_square_products,
-        )
-        notes.extend(matrix_build.notes)
-        compression = _reduce_matrix(method, matrix_build, delay_model, power_model, seed)
-        notes.extend(compression.notes)
-        netlist = matrix_build.netlist
-        row_nets = [
-            [addend.net if addend is not None else None for addend in row]
-            for row in compression.rows
-        ]
-        output_bus = build_final_adder(
-            netlist,
-            row_nets[0],
-            row_nets[1],
-            design.output_width,
-            kind=final_adder,
-            name="f",
-        )
-        netlist.set_output_bus(output_bus)
-        fa_count = compression.fa_count
-        ha_count = compression.ha_count
-        max_final_arrival = compression.max_final_arrival
-
-    pre_opt_stats: Optional[NetlistStats] = None
-    opt_report: Optional[OptReport] = None
-    if opt_level > 0:
-        opt_report = optimize_netlist(
-            netlist,
-            opt_level=opt_level,
-            library=library,
-            validate=opt_validate,
-            check_equivalence=True,
-        )
-        pre_opt_stats = opt_report.before
-        # the counts below must describe the netlist the analyses see
-        fa_count = len(netlist.cells_of_type(CellType.FA))
-        ha_count = len(netlist.cells_of_type(CellType.HA))
-        notes.append(
-            f"-O{opt_level}: {opt_report.cells_removed} of "
-            f"{pre_opt_stats.num_cells} cells removed in "
-            f"{opt_report.iterations} iteration(s)"
-        )
-
-    timing = compute_arrival_times(netlist, library)
-    probabilities = propagate_probabilities(netlist)
-    power = estimate_power(netlist, library, probabilities, power_model)
-    stats = netlist_stats(netlist, library)
-
-    return SynthesisResult(
-        design_name=design.name,
-        method=method,
-        netlist=netlist,
-        output_bus=output_bus,
-        output_width=design.output_width,
-        final_adder=final_adder,
-        library_name=library.name,
-        delay_ns=timing.delay,
-        area=stats.area or 0.0,
-        total_energy=power.total_energy,
-        tree_energy=power.tree_energy,
-        cell_count=stats.num_cells,
-        fa_count=fa_count,
-        ha_count=ha_count,
-        max_final_arrival=max_final_arrival,
-        timing=timing,
-        power=power,
-        probabilities=probabilities,
-        stats=stats,
-        compression=compression,
-        matrix_build=matrix_build,
-        notes=notes,
-        opt_level=opt_level,
-        opt_report=opt_report,
-        pre_opt_stats=pre_opt_stats,
-    )
+    if library is not None:
+        config_kwargs.setdefault("library", library_field_value(library))
+    config = FlowConfig.from_dict({"method": method, **config_kwargs})
+    return Flow(config).run(design, library=library)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.designs.base import DatapathDesign
-from repro.flows.compare import ComparisonRow, improvement_pct, rows_from_records
+from repro.flows.compare import ComparisonRow, rows_from_records
 from repro.report.paper_data import PAPER_TABLE1, PAPER_TABLE2
 from repro.utils.tables import TextTable
 
@@ -46,8 +46,9 @@ def table1_report(rows: List[ComparisonRow], include_paper: bool = True) -> str:
         delay_conv = row.delay("conventional")
         delay_csa = row.delay("csa_opt")
         delay_aot = row.delay("fa_aot")
-        impr_conv = improvement_pct(delay_conv, delay_aot)
-        impr_csa = improvement_pct(delay_csa, delay_aot)
+        # the ComparisonRow helpers NaN-guard a zero-valued reference
+        impr_conv = row.delay_improvement("conventional", "fa_aot")
+        impr_csa = row.delay_improvement("csa_opt", "fa_aot")
         improvements_conventional.append(impr_conv)
         improvements_csa.append(impr_csa)
         cells = [
@@ -73,7 +74,11 @@ def table1_report(rows: List[ComparisonRow], include_paper: bool = True) -> str:
         table.add_row(cells)
 
     lines = [table.render(title="Table 1 — timing-optimized designs")]
-    if improvements_conventional:
+    # NaN rows (zero-valued reference metrics) stay visible in the table but
+    # must not poison the averages
+    improvements_conventional = [v for v in improvements_conventional if v == v]
+    improvements_csa = [v for v in improvements_csa if v == v]
+    if improvements_conventional and improvements_csa:
         average_conv = sum(improvements_conventional) / len(improvements_conventional)
         average_csa = sum(improvements_csa) / len(improvements_csa)
         lines.append(
@@ -94,7 +99,7 @@ def table2_report(rows: List[ComparisonRow], include_paper: bool = True) -> str:
     for row in rows:
         random_energy = row.tree_energy("fa_random")
         alp_energy = row.tree_energy("fa_alp")
-        improvement = improvement_pct(random_energy, alp_energy)
+        improvement = row.energy_improvement("fa_random", "fa_alp")
         improvements.append(improvement)
         cells = [row.design.title, random_energy, alp_energy, improvement]
         if include_paper:
@@ -106,6 +111,7 @@ def table2_report(rows: List[ComparisonRow], include_paper: bool = True) -> str:
         table.add_row(cells)
 
     lines = [table.render(title="Table 2 — power-optimized designs")]
+    improvements = [v for v in improvements if v == v]  # drop NaN rows
     if improvements:
         average = sum(improvements) / len(improvements)
         lines.append(

@@ -7,6 +7,37 @@ can use it without importing the flow layer.
 
 from __future__ import annotations
 
+from typing import Optional
+
+
+def summary_line(
+    design_name: str,
+    method: str,
+    delay_ns: Optional[float],
+    area: Optional[float],
+    tree_energy: Optional[float],
+    cell_count: int,
+    fa_count: int,
+    ha_count: int,
+) -> str:
+    """The shared one-line result summary format.
+
+    Used by both ``SynthesisResult.summary`` and ``PointMetrics.summary`` so
+    fresh-run and cached-sweep summaries can never drift apart.  Metrics of
+    skipped analyses (``None``) render as ``n/a``.
+    """
+
+    def fmt(value: Optional[float], spec: str) -> str:
+        return format(value, spec) if value is not None else "n/a"
+
+    return (
+        f"{design_name:<18} {method:<16} "
+        f"delay={fmt(delay_ns, '6.3f')} ns  "
+        f"area={fmt(area, '9.1f')}  "
+        f"E_tree={fmt(tree_energy, '9.3f')}  "
+        f"cells={cell_count:5d} (FA={fa_count}, HA={ha_count})"
+    )
+
 
 def improvement_pct(reference: float, improved: float) -> float:
     """Percentage improvement of ``improved`` over ``reference`` (positive = better)."""
