@@ -28,6 +28,9 @@ Public entry points
     on-disk result cache and Pareto analysis.
 ``repro.opt``
     Equivalence-checked netlist optimization (``-O0/1/2``).
+``repro.verify``
+    Verification: differential config fuzzing, metamorphic properties,
+    golden metric snapshots and the mutation self-test (see TESTING.md).
 ``repro.designs``
     The benchmark designs evaluated in the paper (IIR, Kalman, IDCT, ...).
 ``repro.core`` / ``repro.baselines``
@@ -60,6 +63,7 @@ from repro.errors import (
     LibraryError,
     SimulationError,
     DesignError,
+    VerificationError,
 )
 
 __all__ = [
@@ -72,6 +76,7 @@ __all__ = [
     "LibraryError",
     "SimulationError",
     "DesignError",
+    "VerificationError",
     "Flow",
     "FlowConfig",
     "FlowResult",

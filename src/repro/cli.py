@@ -14,13 +14,19 @@ Usage examples::
         --final-adders cla ripple --opt-levels 0 2 \\
         --jobs 4 --cache-dir .sweep-cache \\
         --json sweep.json --csv sweep.csv --pareto
+    repro-datapath verify --smoke --seed 0 --jobs 2 --json verify.json
+    repro-datapath verify --n 48 --methods fa_aot wallace --opt-levels 0 2
+    repro-datapath verify --bless          # re-pin the golden metric snapshot
+    repro-datapath verify --self-test      # planted bug must be caught
 
-Every flow knob flag on ``synth`` / ``compare`` and every sweep-axis flag
-on ``explore`` is **generated from the ``repro.api.FlowConfig`` field
-metadata** (see :mod:`repro.api.options`) — the CLI has no hand-maintained
-copy of the knob list.  ``table1`` / ``table2`` and ``explore`` all run on
-the :mod:`repro.explore` sweep engine, so they share the worker pool
-(``--jobs``) and the on-disk result cache (``--cache-dir``).
+Every flow knob flag on ``synth`` / ``compare``, every sweep-axis flag on
+``explore`` and every fuzz-domain flag on ``verify`` is **generated from
+the ``repro.api.FlowConfig`` field metadata** (see :mod:`repro.api.options`
+and :func:`repro.verify.fuzz.add_domain_options`) — the CLI has no
+hand-maintained copy of the knob list.  ``table1`` / ``table2``,
+``explore`` and ``verify`` all run on the :mod:`repro.explore` sweep
+engine, so they share the worker pool (``--jobs``); the table presets and
+``explore`` also share the on-disk result cache (``--cache-dir``).
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro._version import __version__
 from repro.api.flow import Flow
@@ -54,6 +60,14 @@ from repro.power.report import power_report
 from repro.report.tables import table1_from_records, table2_from_records
 from repro.tech.default_libs import resolve_library
 from repro.timing.report import timing_report
+from repro.verify import (
+    DEFAULT_GOLDEN_PATH,
+    add_domain_options,
+    domain_from_args,
+    run_self_test,
+    run_verify,
+    write_report,
+)
 
 #: default method set for `compare` and `explore` (the paper's headline trio)
 _DEFAULT_COMPARE_METHODS = ("conventional", "csa_opt", "fa_aot")
@@ -200,6 +214,69 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0 if sweep.ok else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.bless and args.no_golden:
+        raise SystemExit(
+            "--bless and --no-golden contradict each other: blessing rewrites "
+            "the golden snapshot, --no-golden skips the golden phase entirely"
+        )
+    if args.self_test:
+        # --n left unset keeps run_self_test's own (small) default: the
+        # self-test needs a handful of cases, not a full fuzz budget
+        record = run_self_test(
+            seed=args.seed,
+            designs=args.designs,
+            domain=domain_from_args(args),
+            **({} if args.n is None else {"n": args.n}),
+        )
+        if record["ok"]:
+            print(
+                f"self-test PASS: mutation {record['mutation']!r} flagged on "
+                f"{record['flagged']}/{record['cases']} case(s)"
+            )
+            return 0
+        print(
+            f"self-test FAIL: mutation {record['mutation']!r} missed on "
+            f"{record['missed']}, crashed on {record['crashed']}"
+        )
+        return 1
+
+    def progress(phase: str, record: Dict, done: int, total: int) -> None:
+        label = record.get("label", "?")
+        if phase == "metamorphic":
+            label = f"{record.get('property')} @ {label}"
+        status = "ok" if record.get("ok") else "FAILED"
+        if record.get("skipped"):
+            status = "skipped"
+        print(f"  [{phase} {done}/{total}] {label}: {status}", file=sys.stderr)
+
+    try:
+        report = run_verify(
+            designs=args.designs,
+            n=24 if args.n is None else args.n,
+            seed=args.seed,
+            jobs=args.jobs,
+            domain=domain_from_args(args),
+            golden_path=None if args.no_golden else args.golden,
+            bless=args.bless,
+            smoke=args.smoke,
+            progress=progress,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    if args.json:
+        if args.json == "-":
+            _write_json_payload(report.to_json_obj(), "-")
+        else:
+            try:
+                path = write_report(report, args.json)
+            except OSError as exc:
+                raise SystemExit(f"cannot write verification report: {exc}")
+            print(f"wrote verification report to {path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser.
 
@@ -273,6 +350,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_exec_options(explore)
     explore.set_defaults(func=_cmd_explore)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential fuzzing + metamorphic + golden-metric verification",
+    )
+    verify.add_argument(
+        "--designs", nargs="+", choices=list_designs(),
+        help="designs to fuzz (default: every registered design)",
+    )
+    verify.add_argument(
+        "--n", type=int, default=None,
+        help="number of fuzz cases to sample (default: 24; --self-test: 3)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, help="fuzzer seed (cases are reproducible)"
+    )
+    verify.add_argument(
+        "--smoke", action="store_true",
+        help="CI preset: small designs, few cases",
+    )
+    verify.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for all three phases (1 = serial)",
+    )
+    verify.add_argument(
+        "--json", help="write the verification report to this JSON file"
+    )
+    verify.add_argument(
+        "--golden", default=DEFAULT_GOLDEN_PATH,
+        help="golden metric snapshot to compare against",
+    )
+    verify.add_argument(
+        "--bless", action="store_true",
+        help="rewrite the golden metric snapshot from this run",
+    )
+    verify.add_argument(
+        "--no-golden", action="store_true", help="skip the golden-metric phase"
+    )
+    verify.add_argument(
+        "--self-test", action="store_true",
+        help="mutation test: inject a broken rewrite pass, require detection",
+    )
+    add_domain_options(verify)
+    verify.set_defaults(func=_cmd_verify)
 
     return parser
 

@@ -50,3 +50,7 @@ class ExplorationError(ReproError):
 
 class OptimizationError(ReproError):
     """Problem during netlist optimization (broken rewrite, failed equivalence)."""
+
+
+class VerificationError(ReproError):
+    """Problem in the verification subsystem (violated property, golden drift)."""

@@ -39,6 +39,7 @@ from repro.explore.engine import (
     PointOutcome,
     SweepResult,
     execute_point,
+    parallel_map,
     run_sweep,
 )
 from repro.explore.io import sweep_report, sweep_to_json_obj, write_csv, write_json
@@ -57,6 +58,7 @@ __all__ = [
     "best_per_design",
     "execute_point",
     "improvement_matrix",
+    "parallel_map",
     "pareto_front",
     "pareto_front_by_design",
     "run_sweep",

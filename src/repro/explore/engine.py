@@ -17,6 +17,11 @@ metric dict, so no netlist ever crosses a process boundary.
 :func:`execute_point` is also the single-point execution path that
 :func:`repro.flows.compare.compare_methods` runs on, which keeps the paper's
 table harnesses and ad-hoc sweeps on the same code path.
+
+The pool machinery itself is exposed as :func:`parallel_map`, a generic
+fan-out over any picklable worker function with the same serial-fallback
+semantics — this is what the verification subsystem (:mod:`repro.verify`)
+runs its fuzz cases and metamorphic checks on.
 """
 
 from __future__ import annotations
@@ -133,26 +138,32 @@ class SweepResult:
 
 ProgressFn = Callable[[PointOutcome, int, int], None]
 
+#: a picklable worker: one task in, one result out; must capture its own
+#: exceptions and encode failures in its result (a raising worker is treated
+#: as a broken pool and re-run serially, where the exception propagates)
+Worker = Callable[[object], object]
+
 
 def _run_serial(
-    pending: List[Tuple[int, SweepPoint]],
-    report: Callable[[int, PointOutcome], None],
+    worker: Worker,
+    pending: List[Tuple[int, object]],
+    report: Callable[[int, object], None],
 ) -> None:
-    for index, point in pending:
-        metrics, error, elapsed = _run_one(point)
-        report(index, PointOutcome(point, metrics, error, False, elapsed))
+    for index, item in pending:
+        report(index, worker(item))
 
 
 def _run_parallel(
-    pending: List[Tuple[int, SweepPoint]],
+    worker: Worker,
+    pending: List[Tuple[int, object]],
     jobs: int,
-    report: Callable[[int, PointOutcome], None],
+    report: Callable[[int, object], None],
 ) -> bool:
-    """Run pending points on a process pool; True if the pool was unusable.
+    """Run pending items on a process pool; True if the pool was unusable.
 
-    Outcomes are reported as they complete.  If the pool cannot be created
+    Results are reported as they complete.  If the pool cannot be created
     or breaks (sandboxed platforms, missing semaphores, killed workers), the
-    not-yet-reported points are re-run serially and the function returns
+    not-yet-reported items are re-run serially and the function returns
     True so the caller can record the fallback.  Only pool machinery is
     guarded — an exception raised by ``report`` itself (cache write failure,
     progress-callback bug) propagates to the caller instead of silently
@@ -162,13 +173,13 @@ def _run_parallel(
     try:
         pool = ProcessPoolExecutor(max_workers=jobs)
     except Exception:
-        _run_serial(pending, report)
+        _run_serial(worker, pending, report)
         return True
     broken = False
     with pool:
         try:
             futures = {
-                pool.submit(_run_one, point): (index, point) for index, point in pending
+                pool.submit(worker, item): (index, item) for index, item in pending
             }
         except Exception:
             futures = {}
@@ -177,18 +188,51 @@ def _run_parallel(
         while remaining and not broken:
             finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
             for future in finished:
-                index, point = futures[future]
+                index, _item = futures[future]
                 try:
-                    metrics, error, elapsed = future.result()
+                    result = future.result()
                 except Exception:
                     broken = True
                     break
-                report(index, PointOutcome(point, metrics, error, False, elapsed))
+                report(index, result)
                 done.add(index)
     if broken:
-        _run_serial([(i, p) for i, p in pending if i not in done], report)
+        _run_serial(worker, [(i, p) for i, p in pending if i not in done], report)
         return True
     return False
+
+
+def parallel_map(
+    worker: Worker,
+    items: Sequence[object],
+    jobs: int = 1,
+    progress: Optional[Callable[[object, int, int], None]] = None,
+) -> Tuple[List[object], bool]:
+    """Map a picklable ``worker`` over ``items`` on the sweep worker pool.
+
+    Returns ``(results, used_fallback)`` with results in input order.
+    ``jobs <= 1`` runs serially; otherwise a ``ProcessPoolExecutor`` is used
+    with the same broken-pool serial fallback as :func:`run_sweep`.  The
+    worker must never raise — it should capture failures in its result
+    record (see :data:`Worker`).  ``progress`` is invoked as
+    ``(result, done_count, total)`` in completion order.
+    """
+    results: Dict[int, object] = {}
+
+    def report(index: int, result: object) -> None:
+        results[index] = result
+        if progress is not None:
+            progress(result, len(results), len(items))
+
+    pending = list(enumerate(items))
+    used_fallback = False
+    effective_jobs = max(1, min(jobs, len(pending))) if pending else 1
+    if pending:
+        if effective_jobs > 1:
+            used_fallback = _run_parallel(worker, pending, effective_jobs, report)
+        else:
+            _run_serial(worker, pending, report)
+    return [results[i] for i in range(len(items))], used_fallback
 
 
 def run_sweep(
@@ -230,6 +274,10 @@ def run_sweep(
         if progress is not None:
             progress(outcome, finished, len(points))
 
+    def report_raw(index: int, raw: object) -> None:
+        metrics, error, elapsed = raw  # the (picklable) _run_one result shape
+        report(index, PointOutcome(points[index], metrics, error, False, elapsed))
+
     pending: List[Tuple[int, SweepPoint]] = []
     hits = 0
     for index, point in enumerate(points):
@@ -244,9 +292,9 @@ def run_sweep(
     effective_jobs = max(1, min(jobs, len(pending))) if pending else 1
     if pending:
         if effective_jobs > 1:
-            used_fallback = _run_parallel(pending, effective_jobs, report)
+            used_fallback = _run_parallel(_run_one, pending, effective_jobs, report_raw)
         else:
-            _run_serial(pending, report)
+            _run_serial(_run_one, pending, report_raw)
 
     return SweepResult(
         outcomes=[outcomes[i] for i in range(len(points))],

@@ -12,7 +12,7 @@ circuits without reconvergent fanout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from repro.expr.signals import SignalSpec
 from repro.netlist.core import Netlist
@@ -41,9 +41,12 @@ def empirical_switching(
     netlist: Netlist,
     signals: Mapping[str, SignalSpec],
     vector_count: int = 256,
-    seed: Optional[int] = 7,
+    seed: int = 7,
 ) -> EmpiricalSwitching:
     """Simulate random vectors and measure per-net toggle rates.
+
+    ``seed`` drives the vector stream and is an ``int`` (never ``None``) so
+    repeated estimates over the same netlist are bit-identical.
 
     All vectors are evaluated in one bit-parallel batch; per-net statistics
     then reduce to popcounts on the packed value words — ones are set bits,

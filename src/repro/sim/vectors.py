@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping
 
 from repro.expr.signals import SignalSpec
 
@@ -12,10 +12,14 @@ from repro.expr.signals import SignalSpec
 def random_vectors(
     signals: Mapping[str, SignalSpec],
     count: int,
-    seed: Optional[int] = None,
+    seed: int,
     respect_probabilities: bool = False,
 ) -> List[Dict[str, int]]:
     """Generate ``count`` random input vectors (one integer per operand).
+
+    ``seed`` is mandatory: every stochastic consumer (equivalence sampling,
+    empirical switching, the fuzzer) must name its seed explicitly so each
+    run is reproducible — there is deliberately no "fresh entropy" default.
 
     With ``respect_probabilities`` each bit is drawn according to its
     :class:`SignalSpec` probability — this is what the empirical switching

@@ -1,0 +1,85 @@
+"""Verification subsystem: differential fuzzing + metamorphic properties.
+
+The paper's claims rest on two things this package continuously tests:
+
+* **correctness** — every synthesized netlist computes its design's
+  reference expression (differential fuzzing over the whole
+  :class:`~repro.api.config.FlowConfig` space, plus metamorphic properties
+  linking related configurations);
+* **metric stability** — the reported timing/power/area numbers stay inside
+  tolerance bands pinned by a committed golden snapshot.
+
+Everything is seeded and replayable, fans out over the exploration engine's
+worker pool, and is driven either from ``repro-datapath verify`` or
+programmatically::
+
+    from repro.verify import run_verify, run_self_test
+
+    report = run_verify(smoke=True, seed=0, jobs=4)
+    assert report.ok, report.render()
+    assert run_self_test()["ok"]      # the fuzzer catches a planted bug
+
+The self-test (mutation testing) is part of the subsystem's contract: a
+deliberately broken rewrite pass injected through the ``PassManager`` API
+must be flagged as non-equivalent, or the whole verification stack is
+considered broken.
+"""
+
+from repro.verify.fuzz import (
+    add_domain_options,
+    case_seed,
+    check_point,
+    default_domain,
+    domain_from_args,
+    run_fuzz,
+    sample_config,
+    sample_points,
+)
+from repro.verify.golden import (
+    DEFAULT_GOLDEN_PATH,
+    bless_golden,
+    compare_to_golden,
+    golden_points,
+    load_golden,
+    run_golden,
+    run_golden_points,
+)
+from repro.verify.metamorphic import (
+    METAMORPHIC_PROPERTIES,
+    check_property,
+    metamorphic_property,
+    property_names,
+    run_metamorphic,
+)
+from repro.verify.mutation import BrokenAndToOrPass, BrokenDropCarryPass
+from repro.verify.report import VerifyReport, write_report
+from repro.verify.runner import run_self_test, run_verify
+
+__all__ = [
+    "BrokenAndToOrPass",
+    "BrokenDropCarryPass",
+    "DEFAULT_GOLDEN_PATH",
+    "METAMORPHIC_PROPERTIES",
+    "VerifyReport",
+    "add_domain_options",
+    "bless_golden",
+    "case_seed",
+    "check_point",
+    "check_property",
+    "compare_to_golden",
+    "default_domain",
+    "domain_from_args",
+    "golden_points",
+    "load_golden",
+    "metamorphic_property",
+    "property_names",
+    "run_fuzz",
+    "run_golden",
+    "run_golden_points",
+    "run_metamorphic",
+    "run_self_test",
+    "run_verify",
+    "sample_config",
+    "sample_points",
+    "write_report",
+]

@@ -1,0 +1,67 @@
+"""Deliberately broken rewrite passes for mutation-testing the fuzzer.
+
+A verification subsystem needs a self-test: if the checks cannot catch a
+*known* bug, a passing report means nothing.  The passes here are valid
+:class:`~repro.opt.base.RewritePass` implementations — injectable through
+the ordinary :class:`~repro.opt.manager.PassManager` API — that preserve
+every structural invariant while silently changing the computed function.
+``validate_netlist`` must stay green on a mutated netlist and the
+differential equivalence check must go red; tests assert both directions.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+from repro.opt.base import RewritePass, retire_cell
+
+
+class BrokenAndToOrPass(RewritePass):
+    """Rewrites the first ``AND2`` into an ``OR2`` over the same inputs.
+
+    Every synthesized netlist carries ``AND2`` partial-product cells, so
+    this mutation applies universally; the two gates differ on three of
+    four input combinations, so any functional check worth its name must
+    flag the result.  At most one cell is rewritten per invocation.
+    """
+
+    name = "broken_and_to_or"
+
+    def run(self, netlist: Netlist) -> int:
+        for cell in list(netlist.cells.values()):
+            if cell.cell_type is not CellType.AND2:
+                continue
+            a, b = cell.inputs["a"], cell.inputs["b"]
+            if a.is_constant or b.is_constant or a is b:
+                continue  # could degenerate to an equivalent function
+            replacement = netlist.add_cell(CellType.OR2, {"a": a, "b": b})
+            retire_cell(netlist, cell, {"y": replacement.outputs["y"]})
+            return 1
+        return 0
+
+
+class BrokenDropCarryPass(RewritePass):
+    """Rebinds the first non-constant ``FA`` carry-in to constant zero.
+
+    A subtler mutation than a gate swap: the netlist stays perfectly
+    well-formed, only a single carry is lost somewhere in the middle of the
+    compressor tree.
+    """
+
+    name = "broken_drop_carry"
+
+    def run(self, netlist: Netlist) -> int:
+        zero = None
+        for cell in list(netlist.cells.values()):
+            if cell.cell_type is not CellType.FA:
+                continue
+            cin = cell.inputs["cin"]
+            if cin.is_constant:
+                continue
+            if zero is None:
+                zero = netlist.const(0)
+            cin.loads.remove((cell, "cin"))
+            cell.inputs["cin"] = zero
+            zero.loads.append((cell, "cin"))
+            return 1
+        return 0

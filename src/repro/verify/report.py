@@ -1,0 +1,149 @@
+"""The verification report: one JSON-able record of a whole verify run.
+
+The report artifact follows the same conventions as the sweep artifact
+(:mod:`repro.explore.io`): a ``schema`` / ``schema_version`` header, a
+summary block, then the per-case records in a deterministic field order, so
+reports diff cleanly and the golden-file test can pin the exact byte shape
+(wall-times normalized).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro._version import __version__
+
+REPORT_SCHEMA = "repro.verify.report"
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class VerifyReport:
+    """Everything one verification run produced."""
+
+    seed: int
+    requested_cases: int
+    fuzz: List[Dict[str, object]] = field(default_factory=list)
+    metamorphic: List[Dict[str, object]] = field(default_factory=list)
+    golden: Optional[Dict[str, object]] = None
+    jobs: int = 1
+    used_fallback: bool = False
+    elapsed_s: float = 0.0
+
+    # ------------------------------------------------------------- verdicts
+
+    @property
+    def fuzz_failures(self) -> List[Dict[str, object]]:
+        """Fuzz cases that crashed, failed validation or broke equivalence."""
+        return [record for record in self.fuzz if not record["ok"]]
+
+    @property
+    def metamorphic_failures(self) -> List[Dict[str, object]]:
+        """Metamorphic checks that were violated or crashed."""
+        return [record for record in self.metamorphic if not record["ok"]]
+
+    @property
+    def metamorphic_skips(self) -> List[Dict[str, object]]:
+        """Metamorphic checks that did not apply to their base case."""
+        return [record for record in self.metamorphic if record.get("skipped")]
+
+    @property
+    def golden_drift(self) -> List[str]:
+        """Golden-metric drift messages (empty when stable or skipped)."""
+        if self.golden is None:
+            return []
+        return list(self.golden.get("drift", ()))
+
+    @property
+    def ok(self) -> bool:
+        """True when every phase passed."""
+        golden_ok = self.golden is None or bool(self.golden.get("ok"))
+        return not self.fuzz_failures and not self.metamorphic_failures and golden_ok
+
+    # ---------------------------------------------------------- serialization
+
+    def summary(self) -> Dict[str, object]:
+        """The summary block of the JSON artifact."""
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "requested_cases": self.requested_cases,
+            "fuzz_cases": len(self.fuzz),
+            "fuzz_failed": len(self.fuzz_failures),
+            "metamorphic_checks": len(self.metamorphic),
+            "metamorphic_failed": len(self.metamorphic_failures),
+            "metamorphic_skipped": len(self.metamorphic_skips),
+            "golden_checked": (
+                self.golden.get("checked") if self.golden is not None else None
+            ),
+            "golden_drift": len(self.golden_drift),
+            "golden_blessed": (
+                bool(self.golden.get("blessed")) if self.golden is not None else False
+            ),
+            "jobs": self.jobs,
+            "used_fallback": self.used_fallback,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+    def to_json_obj(self) -> Dict[str, object]:
+        """The full JSON artifact, in deterministic field order."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "tool_version": __version__,
+            "summary": self.summary(),
+            "fuzz": list(self.fuzz),
+            "metamorphic": list(self.metamorphic),
+            "golden": self.golden,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        summary = self.summary()
+        lines = [
+            f"fuzz:        {summary['fuzz_cases']} case(s), "
+            f"{summary['fuzz_failed']} failed",
+            f"metamorphic: {summary['metamorphic_checks']} check(s), "
+            f"{summary['metamorphic_failed']} failed, "
+            f"{summary['metamorphic_skipped']} skipped",
+        ]
+        if self.golden is None:
+            lines.append("golden:      skipped")
+        elif self.golden.get("blessed"):
+            lines.append(
+                f"golden:      blessed {self.golden['checked']} entries "
+                f"-> {self.golden['path']}"
+            )
+        else:
+            lines.append(
+                f"golden:      {self.golden['checked']} entries, "
+                f"{len(self.golden_drift)} drifted"
+            )
+        for record in self.fuzz_failures:
+            lines.append(f"  FUZZ FAILED {record['label']}: {record['error']}")
+        for record in self.metamorphic_failures:
+            lines.append(
+                f"  PROPERTY VIOLATED {record['property']} on {record['label']}: "
+                f"{record['error']}"
+            )
+        for message in self.golden_drift:
+            lines.append(f"  GOLDEN DRIFT {message}")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"verify: {verdict}, seed={self.seed}, jobs={self.jobs}, "
+            f"{self.elapsed_s:.2f}s"
+            + (", serial-fallback" if self.used_fallback else "")
+        )
+        return "\n".join(lines)
+
+
+def write_report(report: VerifyReport, path: Union[str, Path]) -> Path:
+    """Write the JSON report artifact to ``path``."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json_obj(), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

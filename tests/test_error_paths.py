@@ -1,0 +1,185 @@
+"""Error-path coverage: bad configs, corrupted caches, broken netlists.
+
+The happy paths are covered per-module; this file walks the failure
+surfaces the verification subsystem leans on — every invalid
+:class:`FlowConfig` shape must raise :class:`ConfigError`, every corrupted
+cache entry must degrade to a miss (never an exception), and
+:func:`validate_netlist` must reject each class of hand-broken netlist.
+"""
+
+import json
+
+import pytest
+
+from repro.api.config import FlowConfig, config_field, config_fields
+from repro.errors import ConfigError, NetlistError
+from repro.explore.cache import CACHE_SCHEMA_VERSION, ResultCache
+from repro.explore.spec import SweepPoint
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+from repro.netlist.validate import validate_netlist
+
+
+class TestInvalidFlowConfigs:
+    def test_every_choice_field_rejects_bogus_values(self):
+        for spec in config_fields():
+            if spec.choices is None:
+                continue
+            bogus = 99 if spec.kind in ("int", "optional_int") else "bogus"
+            value = (bogus,) if spec.kind == "names" else bogus
+            with pytest.raises(ConfigError, match=spec.name):
+                FlowConfig(**{spec.name: value})
+
+    @pytest.mark.parametrize(
+        "field_name,bad_value",
+        [
+            ("method", 3),
+            ("opt_level", "two"),
+            ("opt_level", True),  # bools are not opt levels
+            ("use_csd_coefficients", "yes"),
+            ("seed", 1.5),
+            ("analyses", ("timing", 7)),
+        ],
+    )
+    def test_type_violations(self, field_name, bad_value):
+        with pytest.raises(ConfigError):
+            FlowConfig(**{field_name: bad_value})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="typo_knob"):
+            FlowConfig.from_dict({"method": "fa_aot", "typo_knob": 1})
+
+    def test_unknown_field_lookup(self):
+        with pytest.raises(ConfigError, match="no_such_field"):
+            config_field("no_such_field")
+
+    def test_flow_rejects_unknown_design(self):
+        from repro.api.flow import Flow
+        from repro.errors import DesignError
+
+        with pytest.raises(DesignError, match="unknown design"):
+            Flow(FlowConfig()).run("no_such_design")
+
+    def test_sweep_spec_surfaces_config_errors(self):
+        from repro.errors import ExplorationError
+
+        with pytest.raises(ExplorationError):
+            SweepSpec = __import__(
+                "repro.explore.spec", fromlist=["SweepSpec"]
+            ).SweepSpec
+            SweepSpec(designs=("x2",), methods=("bogus",)).expand()
+
+
+class TestCorruptedCacheEntries:
+    """Every malformed on-disk entry must read as a miss, never raise."""
+
+    @pytest.fixture()
+    def point(self):
+        return SweepPoint.from_config("x2", FlowConfig())
+
+    @pytest.fixture()
+    def cache(self, tmp_path):
+        return ResultCache(tmp_path)
+
+    def _entry_path(self, cache, point):
+        return cache.directory / f"{point.digest()}.json"
+
+    def test_truncated_json_is_a_miss(self, cache, point):
+        cache.put(point, {"cell_count": 1})
+        path = self._entry_path(cache, point)
+        path.write_text(path.read_text()[:20], encoding="utf-8")
+        assert cache.get(point) is None
+
+    def test_old_schema_version_is_a_miss(self, cache, point):
+        cache.put(point, {"cell_count": 1})
+        path = self._entry_path(cache, point)
+        entry = json.loads(path.read_text())
+        entry["schema_version"] = CACHE_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(point) is None
+
+    def test_key_collision_is_a_miss(self, cache, point):
+        # an entry whose stored key disagrees with the requested point
+        # (digest collision or hand-edited file) must not be served
+        cache.put(point, {"cell_count": 1})
+        path = self._entry_path(cache, point)
+        entry = json.loads(path.read_text())
+        entry["key"] = entry["key"].replace("x2", "x3")
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(point) is None
+
+    def test_non_dict_metrics_is_a_miss(self, cache, point):
+        cache.put(point, {"cell_count": 1})
+        path = self._entry_path(cache, point)
+        entry = json.loads(path.read_text())
+        entry["metrics"] = [1, 2, 3]
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(point) is None
+
+    def test_non_dict_entry_is_a_miss(self, cache, point):
+        self._entry_path(cache, point).write_text('"just a string"', encoding="utf-8")
+        assert cache.get(point) is None
+
+    def test_rewrite_after_corruption_recovers(self, cache, point):
+        self._entry_path(cache, point).write_text("garbage", encoding="utf-8")
+        assert cache.get(point) is None
+        cache.put(point, {"cell_count": 5})
+        assert cache.get(point) == {"cell_count": 5}
+
+
+def _two_gate_netlist():
+    netlist = Netlist("broken_lab")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    g1 = netlist.add_cell(CellType.AND2, {"a": a, "b": b})
+    g2 = netlist.add_cell(CellType.OR2, {"a": a, "b": g1.outputs["y"]})
+    netlist.set_output(g2.outputs["y"])
+    return netlist
+
+
+class TestHandBrokenNetlists:
+    def test_multiply_driven_net(self):
+        netlist = _two_gate_netlist()
+        g1, g2 = netlist.cells.values()
+        g2.outputs["y"] = g1.outputs["y"]  # both cells now claim one net
+        with pytest.raises(NetlistError, match="multiply-driven"):
+            validate_netlist(netlist)
+
+    def test_floating_net_with_reader(self):
+        netlist = _two_gate_netlist()
+        ghost = netlist.add_net("ghost")
+        g2 = netlist.cells["or2_2"]
+        # rebind an input to a net nothing drives
+        old = g2.inputs["a"]
+        old.loads.remove((g2, "a"))
+        g2.inputs["a"] = ghost
+        ghost.loads.append((g2, "a"))
+        with pytest.raises(NetlistError, match="floating"):
+            validate_netlist(netlist)
+
+    def test_combinational_cycle(self):
+        netlist = _two_gate_netlist()
+        g1 = netlist.cells["and2_1"]
+        g2 = netlist.cells["or2_2"]
+        # feed g2's output back into g1: a -> g1 -> g2 -> g1 cycle
+        old = g1.inputs["a"]
+        old.loads.remove((g1, "a"))
+        back = g2.outputs["y"]
+        g1.inputs["a"] = back
+        back.loads.append((g1, "a"))
+        with pytest.raises(NetlistError, match="cycle"):
+            validate_netlist(netlist)
+
+    def test_unbound_input_port(self):
+        netlist = _two_gate_netlist()
+        g1 = netlist.cells["and2_1"]
+        del g1.inputs["b"]
+        with pytest.raises(NetlistError, match="unbound"):
+            validate_netlist(netlist)
+
+    def test_driven_primary_input(self):
+        netlist = _two_gate_netlist()
+        g1 = netlist.cells["and2_1"]
+        g1.outputs["y"].is_primary_input = True
+        with pytest.raises(NetlistError, match="primary input"):
+            validate_netlist(netlist)
