@@ -1,0 +1,94 @@
+"""Benchmark: the technology-mapping subsystem (`repro.map`).
+
+For every registry design, maps the FA_AOT netlist onto each target library
+(balanced objective) and reports mapping wall-time plus the mapped-vs-generic
+cell/area/delay deltas.  The assertions pin the contract: every mapping must
+stay equivalent to the unmapped netlist, must contain only basis cells, and
+the whole per-design mapping sweep must stay interactive (< 5 s per design —
+mapping is linear in cells; a superlinear regression trips this first).
+
+Run directly (``pytest benchmarks/bench_map.py``) or through the aggregator
+(``python -m benchmarks --only map``), which emits one JSON summary line.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.designs.registry import get_design, list_designs
+from repro.flows.synthesis import synthesize
+from repro.map import basis_of, map_netlist, resolve_target_library
+from repro.tech.target_libs import TARGET_LIBRARY_NAMES
+from repro.utils.tables import TextTable
+
+_RESULTS: List[Dict] = []
+
+#: per-design wall-time ceiling for one full mapping (all three targets)
+_TIME_BUDGET_S = 5.0
+
+
+@pytest.mark.parametrize("design_name", list_designs())
+def test_map_design(benchmark, design_name, library):
+    baseline = synthesize(get_design(design_name), method="fa_aot", library=library)
+    row = {
+        "design": design_name,
+        "cells_generic": baseline.netlist.num_cells(),
+        "area_generic": baseline.stats.area,
+        "delay_generic": baseline.delay_ns,
+        "targets": {},
+    }
+    total = 0.0
+    for target in TARGET_LIBRARY_NAMES:
+        result = synthesize(get_design(design_name), method="fa_aot", library=library)
+        start = time.perf_counter()
+        report = map_netlist(
+            result.netlist, target=target, objective="balanced",
+            source_library=library,
+        )
+        elapsed = time.perf_counter() - start
+        total += elapsed
+
+        assert report.equivalence_ok is True
+        basis = basis_of(resolve_target_library(target))
+        assert all(c.cell_type in basis for c in result.netlist.cells.values())
+
+        row["targets"][target] = {
+            "cells": report.after.num_cells,
+            "area": report.after.area,
+            "delay": report.delay_after,
+            "templates": report.cells_mapped,
+            "map_s": elapsed,
+        }
+    assert total < _TIME_BUDGET_S, f"{design_name}: mapping took {total:.2f}s"
+    _RESULTS.append(row)
+
+
+def test_map_report(benchmark):
+    if len(_RESULTS) != len(list_designs()):
+        pytest.skip("per-design results missing (deselected or reordered run)")
+
+    table = TextTable(
+        ["design", "generic", *TARGET_LIBRARY_NAMES, "map ms"], float_digits=1
+    )
+    for row in _RESULTS:
+        cells = [
+            f"{row['targets'][t]['cells']} ({row['targets'][t]['delay']:.2f}ns)"
+            for t in TARGET_LIBRARY_NAMES
+        ]
+        total_ms = sum(row["targets"][t]["map_s"] for t in TARGET_LIBRARY_NAMES) * 1e3
+        table.add_row(
+            [
+                row["design"],
+                f"{row['cells_generic']} ({row['delay_generic']:.2f}ns)",
+                *cells,
+                total_ms,
+            ]
+        )
+    save_report(
+        "bench_map",
+        table.render(title="Technology mapping: cells (delay) per target basis"),
+    )

@@ -28,6 +28,9 @@ Public entry points
     on-disk result cache and Pareto analysis.
 ``repro.opt``
     Equivalence-checked netlist optimization (``-O0/1/2``).
+``repro.map``
+    Technology mapping onto concrete cell bases (``target_lib`` /
+    ``map_objective`` config axes, equivalence-checked templates).
 ``repro.verify``
     Verification: differential config fuzzing, metamorphic properties,
     golden metric snapshots and the mutation self-test (see TESTING.md).

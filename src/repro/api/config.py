@@ -31,6 +31,13 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.adders.factory import FINAL_ADDER_KINDS
 from repro.baselines.multipliers import MULTIPLIER_STYLES
 from repro.errors import ConfigError
+from repro.map.targets import (
+    GENERIC_TARGET,
+    MAP_OBJECTIVES,
+    MAP_OBJECTIVE_HELP,
+    TARGET_LIB_HELP,
+    TARGET_NAMES,
+)
 from repro.opt.manager import OPT_LEVELS, OPT_LEVEL_HELP
 from repro.tech.default_libs import LIBRARY_NAMES
 
@@ -207,6 +214,26 @@ class FlowConfig:
             axis_flag="--opt-levels",
         ),
     )
+    target_lib: str = field(
+        default=GENERIC_TARGET,
+        metadata=_meta(
+            TARGET_LIB_HELP,
+            choices=TARGET_NAMES,
+            flag="--target-lib",
+            axis="target_libs",
+            axis_flag="--target-libs",
+        ),
+    )
+    map_objective: str = field(
+        default="balanced",
+        metadata=_meta(
+            MAP_OBJECTIVE_HELP,
+            choices=MAP_OBJECTIVES,
+            flag="--map-objective",
+            axis="map_objectives",
+            axis_flag="--map-objectives",
+        ),
+    )
     seed: Optional[int] = field(
         default=2000,
         metadata=_meta(
@@ -233,6 +260,15 @@ class FlowConfig:
             "debug: structurally validate the netlist after every opt pass",
             kind="bool",
             flag="--opt-validate",
+            cache=False,
+        ),
+    )
+    map_validate: bool = field(
+        default=False,
+        metadata=_meta(
+            "debug: structurally validate the netlist after every mapping pass",
+            kind="bool",
+            flag="--map-validate",
             cache=False,
         ),
     )
@@ -324,9 +360,11 @@ class FlowConfig:
         ``conventional`` method (and the conventional-only multiplier style
         is reset for matrix methods); the seed is reset when nothing random
         consumes it (only ``fa_random`` and the random-probability protocol
-        do); ``analyses`` is deduplicated and sorted into registry order.
-        Two configs describing the same computation therefore share one
-        :meth:`cache_key`.
+        do); the mapping objective is reset when ``target_lib`` is the
+        identity ``"generic"`` target (nothing is mapped, so the objective
+        cannot matter); ``analyses`` is deduplicated and sorted into
+        registry order.  Two configs describing the same computation
+        therefore share one :meth:`cache_key`.
         """
         defaults = {spec.name: spec.default for spec in config_fields()}
         cfg = self
@@ -347,6 +385,9 @@ class FlowConfig:
         if cfg.method != "fa_random" and not cfg.random_probabilities:
             if cfg.seed != defaults["seed"]:
                 cfg = replace(cfg, seed=defaults["seed"])
+        if cfg.target_lib == GENERIC_TARGET:
+            if cfg.map_objective != defaults["map_objective"]:
+                cfg = replace(cfg, map_objective=defaults["map_objective"])
         order = {name: i for i, name in enumerate(_registered_analyses())}
         analyses = tuple(
             sorted(dict.fromkeys(cfg.analyses), key=lambda name: order.get(name, 99))

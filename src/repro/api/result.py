@@ -117,6 +117,8 @@ class FlowResult(SynthesisResult):
 
     #: the (validated) configuration that produced this run
     config: Optional["FlowConfig"] = None  # noqa: F821 - forward ref, no cycle
+    #: technology-mapping report (None when ``target_lib`` was ``"generic"``)
+    map_report: Optional["MapReport"] = None  # noqa: F821 - forward ref
     #: the analysis passes that actually ran
     analyses: Tuple[str, ...] = ()
     #: wall time per executed stage (and per analysis, ``analyze:<name>``)
@@ -135,6 +137,9 @@ class FlowResult(SynthesisResult):
         out = super().to_dict()
         out["analyses"] = list(self.analyses)
         out["config"] = self.config.to_dict() if self.config is not None else None
+        out["map_report"] = (
+            self.map_report.to_dict() if self.map_report is not None else None
+        )
         return out
 
     def stage_report(self) -> str:

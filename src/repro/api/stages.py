@@ -15,6 +15,11 @@ A flow run is a sequence of *stages* operating on one mutable
 ``optimize``
     Run the ``repro.opt`` pass pipeline at ``config.opt_level`` (no-op at
     ``-O0``, the paper's protocol).
+``map``
+    Technology-map the optimized netlist onto ``config.target_lib``
+    (no-op for the default ``"generic"`` target).  After this stage the
+    context's library *is* the target library, so every analysis below
+    prices and times the mapped netlist against the basis it consists of.
 ``analyze``
     Run the *analysis passes* selected by ``config.analyses``.  Analyses are
     individually registrable and skippable — ``analyses=("timing",)`` skips
@@ -48,6 +53,8 @@ from repro.core.power_model import FAPowerModel
 from repro.core.result import CompressionResult
 from repro.designs.base import DatapathDesign
 from repro.errors import ConfigError
+from repro.map.mapper import map_netlist
+from repro.map.targets import GENERIC_TARGET
 from repro.netlist.cells import CellType
 from repro.netlist.core import Bus, Netlist
 from repro.netlist.stats import netlist_stats
@@ -77,6 +84,7 @@ class FlowContext:
     notes: List[str] = field(default_factory=list)
     opt_report: Optional[object] = None
     pre_opt_stats: Optional[object] = None
+    map_report: Optional[object] = None
     #: per-stage and per-analysis artifacts, keyed by stage/analysis name
     artifacts: Dict[str, object] = field(default_factory=dict)
     #: wall time of each executed stage / analysis, in seconds
@@ -87,7 +95,7 @@ StageFn = Callable[[FlowContext], None]
 AnalysisFn = Callable[[FlowContext], object]
 
 #: the default pipeline, in execution order
-STAGE_ORDER = ("frontend", "reduce", "final_adder", "optimize", "analyze")
+STAGE_ORDER = ("frontend", "reduce", "final_adder", "optimize", "map", "analyze")
 
 _STAGES: Dict[str, StageFn] = {}
 _ANALYSES: Dict[str, AnalysisFn] = {}  # insertion order = canonical order
@@ -282,6 +290,35 @@ def optimize_stage(context: FlowContext) -> None:
         f"{report.iterations} iteration(s)"
     )
     context.artifacts["optimize"] = report
+
+
+@register_stage("map")
+def map_stage(context: FlowContext) -> None:
+    """Technology-map the netlist onto the configured target basis."""
+    config = context.config
+    if config.target_lib == GENERIC_TARGET:
+        return
+    report = map_netlist(
+        context.netlist,
+        target=config.target_lib,
+        objective=config.map_objective,
+        source_library=context.library,
+        validate=config.map_validate,
+        check_equivalence=True,
+    )
+    context.map_report = report
+    # analyses below must price/time the mapped netlist against the basis
+    # it now consists of; the FA-model delay/power parameters are not
+    # re-derived (they only steer the already-finished allocation stages)
+    context.library = report.library
+    context.fa_count = len(context.netlist.cells_of_type(CellType.FA))
+    context.ha_count = len(context.netlist.cells_of_type(CellType.HA))
+    context.notes.append(
+        f"mapped to {config.target_lib} ({config.map_objective}): "
+        f"{report.cells_mapped} cells covered, "
+        f"{report.before.num_cells} -> {report.after.num_cells} cells"
+    )
+    context.artifacts["map"] = report
 
 
 @register_stage("analyze")

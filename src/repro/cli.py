@@ -7,6 +7,8 @@ Usage examples::
     repro-datapath synth --design iir --json iir.json
     repro-datapath synth --design iir --opt 2            # optimized netlist
     repro-datapath synth --design iir --analyses timing  # skip power/stats
+    repro-datapath synth --design iir --target-lib nand2_basis \\
+        --map-objective delay                            # technology mapping
     repro-datapath compare --design kalman --methods conventional csa_opt fa_aot
     repro-datapath table1 --jobs 4 --cache-dir .sweep-cache
     repro-datapath table2
@@ -110,6 +112,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     if result.opt_report is not None:
         print()
         print(result.opt_report.render())
+    if result.map_report is not None:
+        print()
+        print(result.map_report.render())
     if args.timing:
         if result.timing is None:
             raise SystemExit("--timing needs the 'timing' analysis (see --analyses)")

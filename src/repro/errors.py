@@ -54,3 +54,7 @@ class OptimizationError(ReproError):
 
 class VerificationError(ReproError):
     """Problem in the verification subsystem (violated property, golden drift)."""
+
+
+class MappingError(ReproError):
+    """Problem during technology mapping (no template, broken basis, drift)."""

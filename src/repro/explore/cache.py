@@ -24,9 +24,11 @@ from repro.explore.spec import SweepPoint
 #: (v2: points and records carry the ``opt_level`` optimization axis;
 #: v3: points derive from the FlowConfig schema — canonical ``cache_key``
 #: identity, plus the ``multiplier_style`` / ``fold_square_products`` /
-#: ``analyses`` knobs; records embed the full ``config`` dict).  Entries
-#: written by an older schema are treated as plain misses, never errors.
-CACHE_SCHEMA_VERSION = 3
+#: ``analyses`` knobs; records embed the full ``config`` dict;
+#: v4: the ``target_lib`` / ``map_objective`` technology-mapping axes, and
+#: records embed the ``map_report`` summary).  Entries written by an older
+#: schema are treated as plain misses, never errors.
+CACHE_SCHEMA_VERSION = 4
 
 
 class ResultCache:

@@ -129,6 +129,8 @@ def _point_label(self) -> str:
         parts.append(f"randp{self.seed}")
     if self.opt_level:
         parts.append(f"O{self.opt_level}")
+    if self.target_lib != _DEFAULTS["target_lib"]:
+        parts.append(f"{self.target_lib}:{self.map_objective}")
     if tuple(self.analyses) != tuple(_DEFAULTS["analyses"]):
         parts.append("a:" + "+".join(self.analyses))
     return "/".join(parts)
@@ -247,9 +249,10 @@ SweepSpec = make_dataclass(
             "    config field contributes one plural axis (``methods``,\n"
             "    ``final_adders``, ``libraries``, ``multiplication_styles``,\n"
             "    ``csd_options``, ``fold_square_options``,\n"
-            "    ``multiplier_styles``, ``opt_levels``, ``seeds``), the rest\n"
-            "    are per-sweep scalars (``random_probabilities``,\n"
-            "    ``analyses``, ``opt_validate``).  ``expand()`` produces the\n"
+            "    ``multiplier_styles``, ``opt_levels``, ``target_libs``,\n"
+            "    ``map_objectives``, ``seeds``), the rest are per-sweep\n"
+            "    scalars (``random_probabilities``, ``analyses``,\n"
+            "    ``opt_validate``, ``map_validate``).  ``expand()`` produces the\n"
             "    full product (designs outermost, seeds innermost),\n"
             "    canonicalizes each point, drops duplicates, validates the\n"
             "    axis values and applies every constraint in order.\n    "

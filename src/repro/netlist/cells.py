@@ -1,16 +1,25 @@
 """Cell (gate) type definitions: ports, boolean semantics, categories.
 
-The cell set is intentionally small — it is the set of primitives the DAC 2000
-flow needs: full/half adders as the compression primitives, two-input gates
-for partial products and prefix adders, and an inverter for two's-complement
-negation.  Every cell type is combinational and has a fixed port list, so a
-cell instance is fully described by its type plus the nets bound to its ports.
+The cell set is the set of primitives the DAC 2000 flow needs — full/half
+adders as the compression primitives, two-input gates for partial products
+and prefix adders, an inverter for two's-complement negation — plus the
+complex standard cells the technology-mapping target bases contribute
+(``OAI21``, ``AOI22``, ``XOR3``, ``MAJ3``).  Every cell type is
+combinational and has a fixed port list, so a cell instance is fully
+described by its type plus the nets bound to its ports.
+
+The port tables and the per-type semantics table below are the single
+source of truth for a cell type: the netlist validator, the serializer, the
+simulators and the optimizer all derive port sets from
+:func:`cell_input_ports` / :func:`cell_output_ports` and boolean behaviour
+from :func:`evaluate_cell`, so adding a cell type here (ports + one
+semantics lambda) is all the structural layers need.
 """
 
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Mapping, Tuple
+from typing import Callable, Dict, Mapping, Tuple
 
 from repro.errors import NetlistError
 
@@ -30,6 +39,10 @@ class CellType(str, Enum):
     BUF = "BUF"
     MUX2 = "MUX2"
     AOI21 = "AOI21"
+    OAI21 = "OAI21"
+    AOI22 = "AOI22"
+    XOR3 = "XOR3"
+    MAJ3 = "MAJ3"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -49,6 +62,10 @@ _INPUT_PORTS: Dict[CellType, Tuple[str, ...]] = {
     CellType.BUF: ("a",),
     CellType.MUX2: ("a", "b", "sel"),
     CellType.AOI21: ("a", "b", "c"),
+    CellType.OAI21: ("a", "b", "c"),
+    CellType.AOI22: ("a", "b", "c", "d"),
+    CellType.XOR3: ("a", "b", "c"),
+    CellType.MAJ3: ("a", "b", "c"),
 }
 
 #: output port names per cell type
@@ -65,6 +82,10 @@ _OUTPUT_PORTS: Dict[CellType, Tuple[str, ...]] = {
     CellType.BUF: ("y",),
     CellType.MUX2: ("y",),
     CellType.AOI21: ("y",),
+    CellType.OAI21: ("y",),
+    CellType.AOI22: ("y",),
+    CellType.XOR3: ("y",),
+    CellType.MAJ3: ("y",),
 }
 
 
@@ -89,6 +110,39 @@ def is_combinational(cell_type: CellType) -> bool:
     return cell_type in _INPUT_PORTS
 
 
+def _fa_semantics(i: Mapping[str, int]) -> Dict[str, int]:
+    total = i["a"] + i["b"] + i["cin"]
+    return {"s": total & 1, "co": (total >> 1) & 1}
+
+
+def _ha_semantics(i: Mapping[str, int]) -> Dict[str, int]:
+    total = i["a"] + i["b"]
+    return {"s": total & 1, "co": (total >> 1) & 1}
+
+
+#: boolean function of each cell type over 0/1 port values — the one place
+#: cell semantics are defined (the bit-parallel simulator mirrors these with
+#: word-wide operators, and a test pins the two views against each other)
+_SEMANTICS: Dict[CellType, Callable[[Mapping[str, int]], Dict[str, int]]] = {
+    CellType.FA: _fa_semantics,
+    CellType.HA: _ha_semantics,
+    CellType.AND2: lambda i: {"y": i["a"] & i["b"]},
+    CellType.NAND2: lambda i: {"y": 1 - (i["a"] & i["b"])},
+    CellType.OR2: lambda i: {"y": i["a"] | i["b"]},
+    CellType.NOR2: lambda i: {"y": 1 - (i["a"] | i["b"])},
+    CellType.XOR2: lambda i: {"y": i["a"] ^ i["b"]},
+    CellType.XNOR2: lambda i: {"y": 1 - (i["a"] ^ i["b"])},
+    CellType.NOT: lambda i: {"y": 1 - i["a"]},
+    CellType.BUF: lambda i: {"y": i["a"]},
+    CellType.MUX2: lambda i: {"y": i["b"] if i["sel"] else i["a"]},
+    CellType.AOI21: lambda i: {"y": 1 - ((i["a"] & i["b"]) | i["c"])},
+    CellType.OAI21: lambda i: {"y": 1 - ((i["a"] | i["b"]) & i["c"])},
+    CellType.AOI22: lambda i: {"y": 1 - ((i["a"] & i["b"]) | (i["c"] & i["d"]))},
+    CellType.XOR3: lambda i: {"y": i["a"] ^ i["b"] ^ i["c"]},
+    CellType.MAJ3: lambda i: {"y": (i["a"] + i["b"] + i["c"]) >> 1},
+}
+
+
 def evaluate_cell(cell_type: CellType, inputs: Mapping[str, int]) -> Dict[str, int]:
     """Evaluate the boolean function of a cell on 0/1 input values.
 
@@ -103,33 +157,8 @@ def evaluate_cell(cell_type: CellType, inputs: Mapping[str, int]) -> Dict[str, i
             raise NetlistError(
                 f"non-binary value {inputs[port]!r} on port {port!r} of {cell_type}"
             )
-
-    if cell_type is CellType.FA:
-        a, b, cin = inputs["a"], inputs["b"], inputs["cin"]
-        total = a + b + cin
-        return {"s": total & 1, "co": (total >> 1) & 1}
-    if cell_type is CellType.HA:
-        a, b = inputs["a"], inputs["b"]
-        total = a + b
-        return {"s": total & 1, "co": (total >> 1) & 1}
-    if cell_type is CellType.AND2:
-        return {"y": inputs["a"] & inputs["b"]}
-    if cell_type is CellType.NAND2:
-        return {"y": 1 - (inputs["a"] & inputs["b"])}
-    if cell_type is CellType.OR2:
-        return {"y": inputs["a"] | inputs["b"]}
-    if cell_type is CellType.NOR2:
-        return {"y": 1 - (inputs["a"] | inputs["b"])}
-    if cell_type is CellType.XOR2:
-        return {"y": inputs["a"] ^ inputs["b"]}
-    if cell_type is CellType.XNOR2:
-        return {"y": 1 - (inputs["a"] ^ inputs["b"])}
-    if cell_type is CellType.NOT:
-        return {"y": 1 - inputs["a"]}
-    if cell_type is CellType.BUF:
-        return {"y": inputs["a"]}
-    if cell_type is CellType.MUX2:
-        return {"y": inputs["b"] if inputs["sel"] else inputs["a"]}
-    if cell_type is CellType.AOI21:
-        return {"y": 1 - ((inputs["a"] & inputs["b"]) | inputs["c"])}
-    raise NetlistError(f"unknown cell type {cell_type!r}")  # pragma: no cover
+    try:
+        semantics = _SEMANTICS[cell_type]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise NetlistError(f"unknown cell type {cell_type!r}") from exc
+    return semantics(inputs)

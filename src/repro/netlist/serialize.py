@@ -96,8 +96,19 @@ def netlist_from_dict(data: Dict[str, object]) -> Netlist:
 
     netlist._inputs = [_net(name) for name in data.get("inputs", [])]
     for record in data["cells"]:
+        # cell types resolve through the CellType enum (and port sets through
+        # cell_input_ports/cell_output_ports inside add_cell), so any type the
+        # cell table knows round-trips with no per-type code here; a snapshot
+        # naming an unknown type fails as a NetlistError, not a ValueError
+        try:
+            cell_type = CellType(str(record["type"]))
+        except ValueError as exc:
+            raise NetlistError(
+                f"snapshot cell {record.get('name')!r} has unknown cell type "
+                f"{record.get('type')!r}"
+            ) from exc
         cell = netlist.add_cell(
-            CellType(str(record["type"])),
+            cell_type,
             {port: _net(name) for port, name in record["inputs"].items()},
             name=str(record["name"]),
             outputs={port: _net(name) for port, name in record["outputs"].items()},

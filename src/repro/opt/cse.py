@@ -31,6 +31,8 @@ _COMMUTATIVE = frozenset(
         CellType.XNOR2,
         CellType.HA,
         CellType.FA,
+        CellType.XOR3,
+        CellType.MAJ3,
     }
 )
 
@@ -40,8 +42,12 @@ def _signature(cell: Cell) -> Tuple:
     names = [cell.inputs[p].name for p in cell_input_ports(cell.cell_type)]
     if cell.cell_type in _COMMUTATIVE:
         names = sorted(names)
-    elif cell.cell_type is CellType.AOI21:
+    elif cell.cell_type in (CellType.AOI21, CellType.OAI21):
         names = sorted(names[:2]) + names[2:]
+    elif cell.cell_type is CellType.AOI22:
+        # (a&b)|(c&d): each pair commutes, and the two pairs commute
+        names = sorted([sorted(names[:2]), sorted(names[2:])])
+        names = names[0] + names[1]
     return (cell.cell_type.value, tuple(names))
 
 

@@ -77,6 +77,18 @@ def _cell_output_probabilities(cell: Cell, p: Dict[str, float]) -> Dict[str, flo
     if cell_type is CellType.AOI21:
         inner = get("a") * get("b")
         return {"y": 1.0 - (inner + get("c") - inner * get("c"))}
+    if cell_type is CellType.OAI21:
+        inner = get("a") + get("b") - get("a") * get("b")
+        return {"y": 1.0 - inner * get("c")}
+    if cell_type is CellType.AOI22:
+        left, right = get("a") * get("b"), get("c") * get("d")
+        return {"y": 1.0 - (left + right - left * right)}
+    if cell_type is CellType.XOR3:
+        p_ab = get("a") + get("b") - 2.0 * get("a") * get("b")
+        return {"y": p_ab + get("c") - 2.0 * p_ab * get("c")}
+    if cell_type is CellType.MAJ3:
+        pa, pb, pc = get("a"), get("b"), get("c")
+        return {"y": pa * pb + pa * pc + pb * pc - 2.0 * pa * pb * pc}
     raise NetlistError(f"no probability model for cell type {cell_type}")  # pragma: no cover
 
 

@@ -168,6 +168,15 @@ def _evaluate_cell_packed(
         return {"y": (ins["b"] & sel) | (ins["a"] & (mask ^ sel))}
     if cell_type is CellType.AOI21:
         return {"y": mask ^ ((ins["a"] & ins["b"]) | ins["c"])}
+    if cell_type is CellType.OAI21:
+        return {"y": mask ^ ((ins["a"] | ins["b"]) & ins["c"])}
+    if cell_type is CellType.AOI22:
+        return {"y": mask ^ ((ins["a"] & ins["b"]) | (ins["c"] & ins["d"]))}
+    if cell_type is CellType.XOR3:
+        return {"y": ins["a"] ^ ins["b"] ^ ins["c"]}
+    if cell_type is CellType.MAJ3:
+        a, b, c = ins["a"], ins["b"], ins["c"]
+        return {"y": (a & b) | (c & (a | b))}
     raise SimulationError(f"unknown cell type {cell_type!r}")
 
 

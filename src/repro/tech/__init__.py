@@ -15,6 +15,13 @@ from repro.tech.default_libs import (
     scaled_library,
     unit_library,
 )
+from repro.tech.target_libs import (
+    TARGET_LIBRARY_NAMES,
+    aoi_rich,
+    lowpower_035,
+    nand2_basis,
+    resolve_target_library,
+)
 
 __all__ = [
     "CellSpec",
@@ -24,4 +31,9 @@ __all__ = [
     "resolve_library",
     "unit_library",
     "scaled_library",
+    "TARGET_LIBRARY_NAMES",
+    "nand2_basis",
+    "aoi_rich",
+    "lowpower_035",
+    "resolve_target_library",
 ]

@@ -111,6 +111,30 @@ def generic_035() -> TechLibrary:
             delays=_uniform_delays(CellType.AOI21, "y", 0.14),
             output_energy={"y": 0.11},
         ),
+        CellType.OAI21: CellSpec(
+            cell_type=CellType.OAI21,
+            area=5.0,
+            delays=_uniform_delays(CellType.OAI21, "y", 0.15),
+            output_energy={"y": 0.11},
+        ),
+        CellType.AOI22: CellSpec(
+            cell_type=CellType.AOI22,
+            area=7.0,
+            delays=_uniform_delays(CellType.AOI22, "y", 0.17),
+            output_energy={"y": 0.14},
+        ),
+        CellType.XOR3: CellSpec(
+            cell_type=CellType.XOR3,
+            area=16.0,
+            delays=_uniform_delays(CellType.XOR3, "y", 0.36),
+            output_energy={"y": 0.34},
+        ),
+        CellType.MAJ3: CellSpec(
+            cell_type=CellType.MAJ3,
+            area=11.0,
+            delays=_uniform_delays(CellType.MAJ3, "y", 0.22),
+            output_energy={"y": 0.20},
+        ),
     }
     return TechLibrary("generic_035", cells)
 

@@ -71,6 +71,10 @@ class TechLibrary:
         """True when the library characterizes ``cell_type``."""
         return cell_type in self._cells
 
+    def cell_types(self) -> Tuple[CellType, ...]:
+        """Every cell type the library characterizes (its cell basis)."""
+        return tuple(self._cells)
+
     def spec(self, cell_type: CellType) -> CellSpec:
         """The :class:`CellSpec` for ``cell_type`` (raises if absent)."""
         try:

@@ -50,9 +50,9 @@ _BOOL_DOMAIN_VALUES: Dict[str, Tuple[bool, ...]] = {
 
 #: config fields the fuzzer pins instead of sampling: ``analyses`` is
 #: exercised by the metamorphic properties (skipping passes must not change
-#: the netlist), ``opt_validate`` is always on so every case also checks the
-#: structural invariants after each rewrite pass
-_PINNED_FIELDS = ("analyses", "opt_validate")
+#: the netlist), ``opt_validate`` / ``map_validate`` are always on so every
+#: case also checks the structural invariants after each rewrite/map pass
+_PINNED_FIELDS = ("analyses", "opt_validate", "map_validate")
 
 #: a fuzz domain: config field name -> candidate values (None = draw an
 #: integer from the rng, used for the free-form ``seed`` field)
@@ -95,6 +95,7 @@ def sample_config(rng: random.Random, domain: Optional[Domain] = None) -> FlowCo
         else:
             values[name] = choices[rng.randrange(len(choices))]
     values["opt_validate"] = True
+    values["map_validate"] = True
     return FlowConfig(**values)
 
 

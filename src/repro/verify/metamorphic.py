@@ -19,6 +19,11 @@ configurations and asserts the invariant linking their outcomes:
     ``netlist -> dict -> netlist`` reproduces the structure bit-exactly:
     the rebuilt netlist validates, re-serializes to the identical dict and
     simulates identically.
+``map_equivalent``
+    Technology mapping never changes the function: for *every* target
+    library and *every* mapping objective, the mapped netlist computes the
+    same outputs as the unmapped (``target_lib="generic"``) run, and
+    contains only cells of the target basis.
 
 Properties are registered in :data:`METAMORPHIC_PROPERTIES` (open for
 extension, mirroring the flow's analysis registry) and fan out over the
@@ -193,6 +198,47 @@ def _check_serialize_roundtrip(
             f"{_first_diff(original, resimulated, vectors)}"
         )
     return {"vectors": len(vectors), "cells": result.cell_count}
+
+
+@metamorphic_property("map_equivalent")
+def _check_map_equivalent(
+    design: DatapathDesign, config: FlowConfig
+) -> Dict[str, object]:
+    from repro.map.targets import GENERIC_TARGET, MAP_OBJECTIVES, TARGET_NAMES, basis_of
+
+    base = Flow(_quiet(config, target_lib=GENERIC_TARGET)).run(design)
+    vectors = _shared_vectors(design)
+    reference = _outputs(base, vectors)
+    cells_by_target: Dict[str, int] = {}
+    for target in TARGET_NAMES:
+        if target == GENERIC_TARGET:
+            continue
+        for objective in MAP_OBJECTIVES:
+            mapped = Flow(
+                _quiet(config, target_lib=target, map_objective=objective)
+            ).run(design)
+            basis = basis_of(mapped.map_report.library)
+            stray = sorted(
+                {
+                    cell.cell_type.value
+                    for cell in mapped.netlist.cells.values()
+                    if cell.cell_type not in basis
+                }
+            )
+            if stray:
+                raise VerificationError(
+                    f"{target}/{objective}: mapped netlist contains "
+                    f"out-of-basis cell type(s) {stray}"
+                )
+            produced = _outputs(mapped, vectors)
+            if produced != reference:
+                raise VerificationError(
+                    f"{target}/{objective}: mapped netlist differs from the "
+                    f"unmapped run; first mismatch: "
+                    f"{_first_diff(reference, produced, vectors)}"
+                )
+            cells_by_target[f"{target}/{objective}"] = mapped.cell_count
+    return {"vectors": len(vectors), "cells": cells_by_target}
 
 
 #: the properties shipped with this module — guaranteed present in pool

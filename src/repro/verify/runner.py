@@ -138,11 +138,20 @@ def run_self_test(
     Samples ``n`` cases over ``designs`` (default: the small, exhaustively
     checkable smoke designs), injects ``mutation`` (default:
     :class:`BrokenAndToOrPass`) via the ``PassManager`` and requires
-    **every** case to come back non-equivalent.  Returns a JSON-able
-    record; ``ok`` means the planted bug was caught everywhere.  Mutated
-    cases always run serially (the injected pass stays in-process).
+    **every** case to come back non-equivalent.  The ``target_lib`` axis is
+    pinned to ``"generic"`` regardless of ``domain``: the planted mutations
+    rewrite the flow's FA/AND2 primitives, which a technology-mapped
+    netlist no longer contains (mapped configurations are exercised by the
+    regular fuzz phase and the ``map_equivalent`` metamorphic property).
+    Returns a JSON-able record; ``ok`` means the planted bug was caught
+    everywhere.  Mutated cases always run serially (the injected pass stays
+    in-process).
     """
+    from repro.verify.fuzz import default_domain
+
     mutation = mutation if mutation is not None else BrokenAndToOrPass()
+    domain = dict(domain) if domain is not None else default_domain()
+    domain["target_lib"] = ("generic",)
     points = sample_points(
         n, seed, designs=designs if designs else SMOKE_DESIGNS, domain=domain
     )

@@ -183,3 +183,36 @@ class TestHandBrokenNetlists:
         g1.outputs["y"].is_primary_input = True
         with pytest.raises(NetlistError, match="primary input"):
             validate_netlist(netlist)
+
+
+class TestUnknownCellTypes:
+    """The structural layers derive port sets from the cell table; anything
+    the table does not know must fail as a NetlistError, never a bare
+    ValueError/KeyError."""
+
+    def test_snapshot_with_unknown_cell_type_is_rejected(self):
+        from repro.netlist.serialize import netlist_from_dict, netlist_to_dict
+
+        netlist = _two_gate_netlist()
+        snapshot = netlist_to_dict(netlist)
+        snapshot["cells"][0]["type"] = "FROBNICATOR3"
+        with pytest.raises(NetlistError, match="unknown cell type 'FROBNICATOR3'"):
+            netlist_from_dict(snapshot)
+
+    def test_snapshot_type_error_names_the_cell(self):
+        from repro.netlist.serialize import netlist_from_dict, netlist_to_dict
+
+        netlist = _two_gate_netlist()
+        snapshot = netlist_to_dict(netlist)
+        broken_name = snapshot["cells"][1]["name"]
+        snapshot["cells"][1]["type"] = "NAND9"
+        with pytest.raises(NetlistError, match=broken_name):
+            netlist_from_dict(snapshot)
+
+    def test_evaluate_cell_rejects_missing_and_non_binary_inputs(self):
+        from repro.netlist.cells import CellType, evaluate_cell
+
+        with pytest.raises(NetlistError, match="missing value"):
+            evaluate_cell(CellType.AOI22, {"a": 1, "b": 0, "c": 1})
+        with pytest.raises(NetlistError, match="non-binary"):
+            evaluate_cell(CellType.MAJ3, {"a": 2, "b": 0, "c": 1})

@@ -71,10 +71,19 @@ class TestSampling:
     def test_domain_covers_every_unpinned_schema_field(self):
         domain = default_domain()
         for spec in config_fields():
-            if spec.name in ("analyses", "opt_validate"):
+            if spec.name in ("analyses", "opt_validate", "map_validate"):
                 assert spec.name not in domain
             else:
                 assert spec.name in domain
+
+    def test_domain_includes_mapping_axes(self):
+        # the mapping knobs must be fuzzed: every target library and every
+        # objective is a sampling candidate straight from the schema
+        domain = default_domain()
+        assert set(domain["target_lib"]) == {
+            "generic", "nand2_basis", "aoi_rich", "lowpower_035"
+        }
+        assert set(domain["map_objective"]) == {"area", "delay", "balanced"}
 
     def test_small_domain_caps_case_count(self):
         domain = default_domain()
@@ -164,7 +173,11 @@ class TestMutationDetection:
         assert record["flagged"] == record["cases"] == 3
 
     def test_fuzz_records_carry_the_mismatch(self):
-        points = sample_points(2, seed=0, designs=SMALL)
+        # generic target only: the planted AND2 mutation needs the
+        # pre-mapping primitives (run_self_test pins the same axis)
+        domain = default_domain()
+        domain["target_lib"] = ("generic",)
+        points = sample_points(2, seed=0, designs=SMALL, domain=domain)
         records, _ = run_fuzz(points, mutation=BrokenAndToOrPass())
         for record in records:
             assert record["ok"] is False
