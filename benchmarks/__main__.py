@@ -14,6 +14,22 @@ JSON line on stdout::
 
 The exit code is non-zero when any benchmark fails, so the aggregator can
 gate CI.  Human-readable reports still land in ``benchmarks/results/``.
+
+Observability extensions:
+
+``--trace-dir DIR``
+    Run each benchmark under a :mod:`repro.obs` tracer (via the conftest
+    session fixture) and fold the resulting span summary into its JSON
+    line; the Chrome traces land in ``DIR``.
+``--out FILE``
+    Append one trajectory entry (per-bench wall times + span summaries) to
+    ``FILE`` — the committed ``BENCH_flow.json`` baseline is produced this
+    way.
+``--check FILE [--tolerance 0.25]``
+    Compare this run against the last entry of ``FILE``.  Wall times are
+    first normalized by the total-runtime ratio (so a uniformly slower CI
+    host does not trip the gate); any bench slower than the scaled
+    baseline by more than the tolerance fails the run.
 """
 
 from __future__ import annotations
@@ -29,6 +45,9 @@ from typing import List
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 
+#: committed baseline trajectory (see ``--out`` / ``--check``)
+TRAJECTORY_SCHEMA = "repro.bench.trajectory"
+
 
 def discover(only: str = "") -> List[pathlib.Path]:
     """All ``bench_*.py`` files, optionally filtered by a name substring."""
@@ -39,12 +58,14 @@ def discover(only: str = "") -> List[pathlib.Path]:
     )
 
 
-def run_bench(path: pathlib.Path) -> dict:
+def run_bench(path: pathlib.Path, trace_dir: pathlib.Path = None) -> dict:
     """Run one benchmark file under pytest and summarize it as a dict."""
     start = time.perf_counter()
     env = dict(os.environ)
     src = str(BENCH_DIR.parent / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    if trace_dir is not None:
+        env["REPRO_BENCH_TRACE"] = str(trace_dir / path.stem)
     proc = subprocess.run(
         [sys.executable, "-m", "pytest", str(path), "-q", "--no-header"],
         cwd=str(BENCH_DIR.parent),
@@ -52,12 +73,87 @@ def run_bench(path: pathlib.Path) -> dict:
         capture_output=True,
         text=True,
     )
-    return {
+    record = {
         "bench": path.stem,
         "ok": proc.returncode == 0,
         "returncode": proc.returncode,
         "elapsed_s": round(time.perf_counter() - start, 3),
     }
+    if trace_dir is not None:
+        summary_path = trace_dir / f"{path.stem}.trace.summary.json"
+        try:
+            with open(summary_path, "r", encoding="utf-8") as handle:
+                record["span_summary"] = json.load(handle).get("span_summary")
+        except (OSError, ValueError):
+            record["span_summary"] = None
+    return record
+
+
+def append_trajectory(out_path: pathlib.Path, records: List[dict]) -> None:
+    """Append one trajectory entry built from ``records`` to ``out_path``."""
+    import platform
+
+    trajectory = {"schema": TRAJECTORY_SCHEMA, "schema_version": 1, "entries": []}
+    try:
+        with open(out_path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and existing.get("schema") == TRAJECTORY_SCHEMA:
+            trajectory = existing
+    except (OSError, ValueError):
+        pass
+    entry = {
+        "unix_time": round(time.time(), 3),
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "total_elapsed_s": round(sum(r["elapsed_s"] for r in records), 3),
+        "benches": {
+            r["bench"]: {
+                k: r[k] for k in ("ok", "elapsed_s", "span_summary") if k in r
+            }
+            for r in records
+        },
+    }
+    trajectory["entries"].append(entry)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_against_baseline(
+    baseline_path: pathlib.Path, records: List[dict], tolerance: float
+) -> List[str]:
+    """Regression check: list of violation messages (empty = pass).
+
+    The baseline is the *last* entry of the trajectory file.  Per-bench
+    wall times are compared after normalizing by the total-runtime ratio,
+    so a uniformly faster/slower machine shifts nothing; only a bench that
+    got slower *relative to the others* by more than ``tolerance`` trips.
+    """
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+        baseline = trajectory["entries"][-1]["benches"]
+    except (OSError, ValueError, KeyError, IndexError) as exc:
+        return [f"cannot read baseline {baseline_path}: {exc}"]
+    shared = [r for r in records if r["bench"] in baseline]
+    if not shared:
+        return [f"baseline {baseline_path} shares no benches with this run"]
+    base_total = sum(baseline[r["bench"]]["elapsed_s"] for r in shared)
+    new_total = sum(r["elapsed_s"] for r in shared)
+    if base_total <= 0:
+        return [f"baseline {baseline_path} has non-positive total time"]
+    scale = new_total / base_total
+    problems = []
+    for record in shared:
+        allowed = baseline[record["bench"]]["elapsed_s"] * scale * (1.0 + tolerance)
+        if record["elapsed_s"] > allowed:
+            problems.append(
+                f"{record['bench']}: {record['elapsed_s']:.3f}s exceeds "
+                f"scaled baseline {allowed:.3f}s "
+                f"(baseline {baseline[record['bench']]['elapsed_s']:.3f}s, "
+                f"host scale {scale:.2f}, tolerance {tolerance:.0%})"
+            )
+    return problems
 
 
 def main(argv: List[str] = None) -> int:
@@ -68,6 +164,28 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--only", default="", help="substring filter on bench names")
     parser.add_argument(
         "--list", action="store_true", help="list matching benchmarks and exit"
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="run each benchmark under a tracer; Chrome traces land here",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="append a trajectory entry (times + span summaries) to this JSON file",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="fail if any bench regresses vs the last entry of this trajectory file",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed per-bench slowdown for --check, after host-speed "
+        "normalization (default: 0.25)",
     )
     args = parser.parse_args(argv)
 
@@ -80,11 +198,34 @@ def main(argv: List[str] = None) -> int:
             print(path.stem)
         return 0
 
+    trace_dir = None
+    if args.trace_dir:
+        trace_dir = pathlib.Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+
     failures = 0
+    records = []
     for path in benches:
-        record = run_bench(path)
+        record = run_bench(path, trace_dir=trace_dir)
         failures += 0 if record["ok"] else 1
+        records.append(record)
         print(json.dumps(record), flush=True)
+
+    if args.out:
+        append_trajectory(pathlib.Path(args.out), records)
+        print(f"appended trajectory entry to {args.out}", file=sys.stderr)
+    if args.check:
+        problems = check_against_baseline(
+            pathlib.Path(args.check), records, args.tolerance
+        )
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"no regressions vs {args.check} (tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
     return 1 if failures else 0
 
 

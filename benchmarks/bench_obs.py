@@ -1,0 +1,114 @@
+"""Benchmark: the observability layer's cost, disabled and enabled.
+
+The ``repro.obs`` instrumentation lives permanently in the flow's hot paths
+(every stage, every opt pass, every cover decision), which is only
+acceptable if the *disabled* path is near-free.  This harness pins that
+contract:
+
+* ``test_disabled_overhead_under_two_percent`` — counts how many ``obs``
+  calls one representative ``bench_api``-style workload actually makes
+  (by running it once under a tracer), microbenchmarks the per-call cost
+  of the disabled fast path, and asserts that the product stays under 2%
+  of the untraced workload's wall time.  Multiplying a deterministic call
+  count by a tight per-call measurement is far more stable in CI than
+  differencing two noisy end-to-end timings.
+* ``test_enabled_tracing_captures_flow`` — sanity-checks that the same
+  workload, traced, actually yields the nested flow/opt span tree the
+  overhead is buying.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_report
+from repro import obs
+from repro.api import Flow, FlowConfig
+from repro.utils.tables import TextTable
+
+_SPAN_PROBE_ITERS = 200_000
+_COUNTER_PROBE_ITERS = 200_000
+_WORKLOAD_ROUNDS = 3
+
+#: the representative workload: one full-analysis optimized flow run, the
+#: per-point unit of every sweep in bench_api.py
+_WORKLOAD_CONFIG = FlowConfig(opt_level=2)
+_WORKLOAD_DESIGN = "iir"
+
+
+def _run_workload() -> None:
+    Flow(_WORKLOAD_CONFIG).run(_WORKLOAD_DESIGN)
+
+
+def _best_workload_time() -> float:
+    best = float("inf")
+    with obs.disabled():  # measure the untraced path even under --trace-dir
+        for _ in range(_WORKLOAD_ROUNDS):
+            start = time.perf_counter()
+            _run_workload()
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _disabled_call_costs() -> tuple:
+    """Per-call wall time of ``obs.span`` / ``obs.counter`` with no tracer."""
+    with obs.disabled():
+        assert obs.current_tracer() is None
+        start = time.perf_counter()
+        for _ in range(_SPAN_PROBE_ITERS):
+            with obs.span("probe", detail=1):
+                pass
+        span_cost = (time.perf_counter() - start) / _SPAN_PROBE_ITERS
+        start = time.perf_counter()
+        for _ in range(_COUNTER_PROBE_ITERS):
+            obs.counter("probe", 1.0)
+        counter_cost = (time.perf_counter() - start) / _COUNTER_PROBE_ITERS
+    return span_cost, counter_cost
+
+
+def test_disabled_overhead_under_two_percent():
+    _run_workload()  # warm imports, design construction, caches
+
+    # how many obs calls does the workload make? run it once, traced
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        _run_workload()
+    span_calls = len(tracer.spans)
+    counter_calls = tracer.counter_events
+
+    untraced_s = _best_workload_time()
+    span_cost, counter_cost = _disabled_call_costs()
+    overhead_s = span_calls * span_cost + counter_calls * counter_cost
+    fraction = overhead_s / untraced_s
+
+    table = TextTable(["quantity", "value"], float_digits=6)
+    table.add_row(["workload wall time (s, best-of-N)", untraced_s])
+    table.add_row(["span calls per workload", span_calls])
+    table.add_row(["counter calls per workload", counter_calls])
+    table.add_row(["disabled span cost (ns/call)", span_cost * 1e9])
+    table.add_row(["disabled counter cost (ns/call)", counter_cost * 1e9])
+    table.add_row(["implied disabled overhead (s)", overhead_s])
+    table.add_row(["overhead fraction", fraction])
+    save_report(
+        "obs_overhead",
+        table.render(title="obs disabled-path overhead on one optimized flow run"),
+    )
+
+    assert fraction < 0.02, (
+        f"disabled tracing costs {fraction:.2%} of the workload "
+        f"({span_calls} spans x {span_cost * 1e9:.0f}ns + "
+        f"{counter_calls} counters x {counter_cost * 1e9:.0f}ns "
+        f"on a {untraced_s:.4f}s run); budget is 2%"
+    )
+
+
+def test_enabled_tracing_captures_flow():
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        _run_workload()
+    names = tracer.span_names()
+    for stage in ("flow.run", "flow.frontend", "flow.reduce", "flow.optimize"):
+        assert stage in names, f"missing {stage} in {sorted(names)}"
+    assert any(name.startswith("opt.") for name in names), sorted(names)
+    roots = [s for s in tracer.spans if s["parent"] is None]
+    assert len(roots) == 1 and roots[0]["name"] == "flow.run"

@@ -3,15 +3,46 @@
 Every benchmark writes its human-readable report (the regenerated table or
 figure) both to stdout and to ``benchmarks/results/<name>.txt`` so the output
 survives pytest's capture and can be diffed against EXPERIMENTS.md.
+
+When the aggregator (``python -m benchmarks --trace-dir ...``) sets
+``REPRO_BENCH_TRACE`` to a path prefix, the whole pytest session runs under
+a :mod:`repro.obs` tracer and writes ``<prefix>.trace.json`` (Chrome
+trace-event format) plus ``<prefix>.trace.summary.json`` (the shared
+span-summary schema) at session end.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_tracer():
+    """Trace the benchmark session when ``REPRO_BENCH_TRACE`` is set."""
+    prefix = os.environ.get("REPRO_BENCH_TRACE")
+    if not prefix:
+        yield None
+        return
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        yield tracer
+    obs.write_chrome_trace(tracer, f"{prefix}.trace.json")
+    summary = {
+        "schema": "repro.obs.span_summary",
+        "span_summary": obs.aggregate_spans(tracer.to_dicts()),
+        "counters": {k: tracer.counters[k] for k in sorted(tracer.counters)},
+    }
+    with open(f"{prefix}.trace.summary.json", "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def save_report(name: str, text: str) -> pathlib.Path:

@@ -10,6 +10,14 @@ artifacts.
 The legacy ``repro.flows.synthesize(**kwargs)`` entry point is a thin shim
 over this class, and the exploration engine executes every sweep point
 through it, so all consumers share one code path.
+
+Observability: every stage emits a ``flow.<stage>`` span into the active
+:mod:`repro.obs` tracer (design and method attached as attributes), which
+is the primary instrumentation of a run — ``stage_times`` is kept as a
+derived compatibility view of the same intervals.  A stage that raises
+still records its partial elapsed time (and an ``error`` attribute on its
+span) before the exception propagates, so traces of failed runs stay
+truthful.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional, Sequence, Union
 
+from repro import obs
 from repro.api.config import FlowConfig
 from repro.api.result import FlowResult
 from repro.api.stages import STAGE_ORDER, FlowContext, stage
@@ -79,15 +88,27 @@ class Flow:
             delay_model=FADelayModel.from_library(library),
             power_model=FAPowerModel.from_library(library),
         )
-        for item in self.stages:
-            fn = stage(item) if isinstance(item, str) else item
-            name = item if isinstance(item, str) else getattr(item, "__name__", "stage")
-            start = time.perf_counter()
-            fn(context)
-            # the analyze stage times its passes individually; don't clobber
-            context.stage_times.setdefault(name, 0.0)
-            context.stage_times[name] += time.perf_counter() - start
-        return _build_result(context)
+        with obs.span(
+            "flow.run", design=design.name, method=config.method
+        ) as flow_span:
+            for item in self.stages:
+                fn = stage(item) if isinstance(item, str) else item
+                name = (
+                    item if isinstance(item, str) else getattr(item, "__name__", "stage")
+                )
+                with obs.span(f"flow.{name}", design=design.name, stage=name):
+                    start = time.perf_counter()
+                    try:
+                        fn(context)
+                    finally:
+                        # a raising stage still accounts its partial time;
+                        # the analyze stage times its passes individually,
+                        # so accumulate instead of clobbering
+                        context.stage_times.setdefault(name, 0.0)
+                        context.stage_times[name] += time.perf_counter() - start
+            result = _build_result(context)
+            flow_span.set(cells=result.cell_count)
+        return result
 
 
 def _build_result(context: FlowContext) -> FlowResult:

@@ -148,6 +148,45 @@ def add_sweep_options(
         )
 
 
+def add_observability_options(parser: argparse.ArgumentParser) -> None:
+    """Add the shared observability flags (``--trace`` / ``--profile`` / ...).
+
+    Every flow-running subcommand gets the same four flags; the CLI driver
+    consumes them uniformly (see ``repro.cli``): ``--trace`` installs a
+    tracer for the whole command and writes a Chrome trace-event JSON file,
+    ``--profile`` prints the top-span table to stderr, ``--log-level``
+    configures the ``repro`` logging bridge and ``--manifest`` writes the
+    run manifest.
+    """
+    from repro.obs import LOG_LEVELS
+
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record spans and write a Chrome trace-event JSON file "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the top spans by total time to stderr after the run",
+    )
+    group.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of diagnostic output on stderr (default: info)",
+    )
+    group.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="write a JSON run manifest (config identity, host, timings)",
+    )
+
+
 def sweep_spec_from_args(
     args: argparse.Namespace,
     designs: Sequence[str],

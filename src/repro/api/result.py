@@ -121,7 +121,9 @@ class FlowResult(SynthesisResult):
     map_report: Optional["MapReport"] = None  # noqa: F821 - forward ref
     #: the analysis passes that actually ran
     analyses: Tuple[str, ...] = ()
-    #: wall time per executed stage (and per analysis, ``analyze:<name>``)
+    #: wall time per executed stage (and per analysis, ``analyze:<name>``) —
+    #: a derived view of the flow's ``flow.<stage>`` spans (see
+    #: :mod:`repro.obs`); a stage that raises still records its partial time
     stage_times: Dict[str, float] = field(default_factory=dict)
     #: per-stage artifacts (matrix build, compression, opt report, analyses)
     stage_artifacts: Dict[str, object] = field(default_factory=dict)
@@ -143,7 +145,12 @@ class FlowResult(SynthesisResult):
         return out
 
     def stage_report(self) -> str:
-        """Small text table of per-stage wall times."""
+        """Small text table of per-stage wall times.
+
+        For the full nested picture (per-pass, per-analysis, per-candidate
+        spans) run the flow under a tracer — ``--trace`` on the CLI or
+        :func:`repro.obs.tracing` around :meth:`Flow.run`.
+        """
         lines = ["stage times:"]
         for name, elapsed in self.stage_times.items():
             lines.append(f"  {name:<16} {elapsed * 1e3:8.2f} ms")

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.adders.factory import build_final_adder
 from repro.baselines.conventional import conventional_synthesis
 from repro.baselines.csa_opt import csa_opt_reduce
@@ -331,9 +332,10 @@ def analyze_stage(context: FlowContext) -> None:
             raise ConfigError(
                 f"unknown analysis {name!r}; expected one of {analysis_names()}"
             )
-        start = time.perf_counter()
-        context.artifacts[name] = fn(context)
-        context.stage_times[f"analyze:{name}"] = time.perf_counter() - start
+        with obs.span(f"analyze.{name}", analysis=name):
+            start = time.perf_counter()
+            context.artifacts[name] = fn(context)
+            context.stage_times[f"analyze:{name}"] = time.perf_counter() - start
 
 
 @register_analysis("timing")

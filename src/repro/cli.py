@@ -36,12 +36,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro._version import __version__
 from repro.api.flow import Flow
 from repro.api.options import (
     add_flow_options,
+    add_observability_options,
     add_sweep_options,
     flow_config_from_args,
     sweep_spec_from_args,
@@ -73,6 +76,10 @@ from repro.verify import (
 
 #: default method set for `compare` and `explore` (the paper's headline trio)
 _DEFAULT_COMPARE_METHODS = ("conventional", "csa_opt", "fa_aot")
+
+#: all progress / diagnostic chatter goes through the logging bridge, so
+#: ``--log-level`` governs it uniformly (program output stays on stdout)
+log = obs.get_logger("cli")
 
 
 def _write_json_payload(payload: object, target: str) -> None:
@@ -165,7 +172,7 @@ def _run_table_sweep(spec: SweepSpec, args: argparse.Namespace) -> SweepResult:
         if name not in announced and outcome.ok:
             announced.add(name)
             verb = "cached" if outcome.cached else "synthesized"
-            print(f"  {verb} {name}", file=sys.stderr)
+            log.info("  %s %s", verb, name)
 
     try:
         sweep = run_sweep(
@@ -175,7 +182,7 @@ def _run_table_sweep(spec: SweepSpec, args: argparse.Namespace) -> SweepResult:
         raise SystemExit(str(exc))
     if not sweep.ok:
         for outcome in sweep.failures:
-            print(f"  FAILED {outcome.point.label()}: {outcome.error}", file=sys.stderr)
+            log.error("  FAILED %s: %s", outcome.point.label(), outcome.error)
         raise SystemExit(f"{len(sweep.failures)} sweep point(s) failed")
     return sweep
 
@@ -203,7 +210,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     def progress(outcome: PointOutcome, done: int, total: int) -> None:
         status = "cached" if outcome.cached else ("FAILED" if not outcome.ok else "ok")
-        print(f"  [{done}/{total}] {outcome.point.label()}: {status}", file=sys.stderr)
+        log.info("  [%d/%d] %s: %s", done, total, outcome.point.label(), status)
 
     sweep = run_sweep(spec, jobs=args.jobs, cache=args.cache_dir, progress=progress)
     print(sweep_report(sweep, pareto=args.pareto))
@@ -253,7 +260,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         status = "ok" if record.get("ok") else "FAILED"
         if record.get("skipped"):
             status = "skipped"
-        print(f"  [{phase} {done}/{total}] {label}: {status}", file=sys.stderr)
+        log.info("  [%s %d/%d] %s: %s", phase, done, total, label, status)
 
     try:
         report = run_verify(
@@ -311,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="write the metric summary as JSON to this file ('-' = stdout)"
     )
     add_flow_options(synth)
+    add_observability_options(synth)
     synth.set_defaults(func=_cmd_synth)
 
     compare = sub.add_parser("compare", help="compare several methods on one design")
@@ -322,18 +330,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_sweep_options(
         compare, include=("method",), defaults={"methods": _DEFAULT_COMPARE_METHODS}
     )
+    add_observability_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--designs", nargs="*", choices=list_designs())
     add_flow_options(table1, include=("library", "final_adder"))
     _add_sweep_exec_options(table1)
+    add_observability_options(table1)
     table1.set_defaults(func=_cmd_table1)
 
     table2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
     table2.add_argument("--designs", nargs="*", choices=list_designs())
     add_flow_options(table2, include=("library", "final_adder", "seed"))
     _add_sweep_exec_options(table2)
+    add_observability_options(table2)
     table2.set_defaults(func=_cmd_table2)
 
     explore = sub.add_parser(
@@ -354,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the (delay, area, tree-energy) Pareto front",
     )
     _add_sweep_exec_options(explore)
+    add_observability_options(explore)
     explore.set_defaults(func=_cmd_explore)
 
     verify = sub.add_parser(
@@ -398,16 +410,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="mutation test: inject a broken rewrite pass, require detection",
     )
     add_domain_options(verify)
+    add_observability_options(verify)
     verify.set_defaults(func=_cmd_verify)
 
     return parser
+
+
+def _manifest_config(args: argparse.Namespace):
+    """The single :class:`FlowConfig` of this invocation, when it has one.
+
+    ``synth`` / ``compare`` describe exactly one configuration whose cache
+    identity belongs in the run manifest; sweep-shaped commands do not.
+    """
+    try:
+        if args.command == "synth":
+            return flow_config_from_args(args)
+        if args.command == "compare":
+            return flow_config_from_args(args, method=args.methods[0])
+    except ReproError:
+        return None
+    return None
+
+
+def _emit_observability(
+    args: argparse.Namespace, tracer: Optional[obs.Tracer], wall_s: float
+) -> None:
+    """Write the requested trace / profile / manifest artifacts."""
+    if tracer is not None and args.trace:
+        try:
+            path = obs.write_chrome_trace(tracer, args.trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace to {args.trace}: {exc}")
+        log.info("wrote Chrome trace (%d spans) to %s", len(tracer.spans), path)
+    if tracer is not None and args.profile:
+        print(
+            obs.render_profile(tracer.to_dicts(), counters=tracer.counters),
+            file=sys.stderr,
+        )
+    if args.manifest:
+        try:
+            path = obs.write_manifest(
+                args.manifest,
+                command=args.command,
+                config=_manifest_config(args),
+                wall_s=wall_s,
+                extra={"trace": args.trace, "spans": len(tracer.spans)}
+                if tracer is not None
+                else None,
+            )
+        except OSError as exc:
+            raise SystemExit(f"cannot write manifest to {args.manifest}: {exc}")
+        log.info("wrote run manifest to %s", path)
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """Run one subcommand under the observability umbrella.
+
+    Commands without the shared flags (``list-designs``) run bare.  A
+    tracer is installed only when ``--trace`` / ``--profile`` asked for
+    spans, so plain runs keep the disabled-tracing fast path.  Artifacts
+    are written even when the command exits via ``SystemExit`` — a failed
+    sweep's partial trace is exactly what one wants to look at.
+    """
+    if not hasattr(args, "log_level"):
+        return args.func(args)
+    obs.configure_logging(args.log_level)
+    tracer = obs.Tracer() if (args.trace or args.profile) else None
+    start = time.perf_counter()
+    try:
+        with obs.tracing(tracer):
+            code = args.func(args)
+    finally:
+        _emit_observability(args, tracer, time.perf_counter() - start)
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    return _run_command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,8 +63,40 @@ class ResultCache:
         self.hits += 1
         return entry["metrics"]
 
-    def put(self, point: SweepPoint, metrics: Dict[str, object]) -> Path:
-        """Store ``metrics`` for ``point`` (atomic write, last writer wins)."""
+    def get_entry(self, point: SweepPoint) -> Optional[Dict[str, object]]:
+        """The full cache entry for ``point`` (metrics + telemetry), if valid.
+
+        Unlike :meth:`get` this exposes the non-contractual ``telemetry``
+        payload; it does not touch the hit/miss statistics.
+        """
+        try:
+            with open(self._path(point), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema_version") != CACHE_SCHEMA_VERSION
+            or entry.get("key") != point.key()
+            or not isinstance(entry.get("metrics"), dict)
+        ):
+            return None
+        return entry
+
+    def put(
+        self,
+        point: SweepPoint,
+        metrics: Dict[str, object],
+        telemetry: Optional[Dict[str, object]] = None,
+    ) -> Path:
+        """Store ``metrics`` for ``point`` (atomic write, last writer wins).
+
+        ``telemetry`` (wall time, span aggregates of the producing run) is
+        stored alongside the metrics but is **not** part of the cache
+        contract: :meth:`get` never returns it — metric records must stay
+        deterministic — and entries without it remain valid.  Use
+        :meth:`get_entry` to inspect it.
+        """
         path = self._path(point)
         entry = {
             "schema_version": CACHE_SCHEMA_VERSION,
@@ -72,6 +104,8 @@ class ResultCache:
             "point": point.to_dict(),
             "metrics": metrics,
         }
+        if telemetry is not None:
+            entry["telemetry"] = telemetry
         # write-then-rename so concurrent sweeps never observe partial files
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.directory), prefix=".tmp-", suffix=".json"

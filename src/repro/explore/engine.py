@@ -22,6 +22,13 @@ The pool machinery itself is exposed as :func:`parallel_map`, a generic
 fan-out over any picklable worker function with the same serial-fallback
 semantics — this is what the verification subsystem (:mod:`repro.verify`)
 runs its fuzz cases and metamorphic checks on.
+
+Observability: when a :mod:`repro.obs` tracer is active in the parent,
+every point runs under its own child tracer (in the worker process for
+parallel sweeps) and ships its spans back with the metric record; the
+parent adopts them, so one ``--trace`` file renders the whole sweep as a
+merged multi-process timeline.  Pool fallbacks and cache events go through
+the :mod:`repro.obs.logbridge` logger instead of being silent.
 """
 
 from __future__ import annotations
@@ -29,15 +36,20 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.api.flow import Flow
 from repro.api.result import FlowResult
 from repro.designs.base import DatapathDesign
 from repro.explore.cache import ResultCache
 from repro.explore.spec import SweepPoint, SweepSpec
+from repro.obs.logbridge import get_logger
 from repro.tech.library import TechLibrary
+
+log = get_logger("explore")
 
 
 def execute_point(
@@ -58,15 +70,29 @@ def execute_point(
     return flow.run(design if design is not None else point.design, library=library)
 
 
-def _run_one(point: SweepPoint) -> Tuple[Optional[Dict], Optional[str], float]:
-    """Worker body: (metrics, error, elapsed_s). Never raises."""
+def _run_one(
+    point: SweepPoint, trace: bool = False
+) -> Tuple[Optional[Dict], Optional[str], float, Optional[Dict]]:
+    """Worker body: (metrics, error, elapsed_s, telemetry). Never raises.
+
+    With ``trace=True`` the point runs under its own :class:`repro.obs`
+    tracer (this is the trace context propagated across the process pool)
+    and the picklable telemetry dict carries the serialized spans and
+    counters back to the parent, which adopts them into its tracer.
+    """
     start = time.perf_counter()
+    tracer = obs.Tracer() if trace else None
+    telemetry: Optional[Dict] = None
     try:
-        metrics = execute_point(point).to_dict()
-        return metrics, None, time.perf_counter() - start
+        with obs.tracing(tracer):
+            with obs.span("explore.point", point=point.label()):
+                metrics = execute_point(point).to_dict()
+        error = None
     except Exception as exc:  # per-point capture is the whole point
-        error = f"{type(exc).__name__}: {exc}"
-        return None, error, time.perf_counter() - start
+        metrics, error = None, f"{type(exc).__name__}: {exc}"
+    if tracer is not None:
+        telemetry = {"spans": tracer.to_dicts(), "counters": dict(tracer.counters)}
+    return metrics, error, time.perf_counter() - start, telemetry
 
 
 @dataclass
@@ -78,15 +104,27 @@ class PointOutcome:
     error: Optional[str] = None
     cached: bool = False
     elapsed_s: float = 0.0
+    #: spans recorded while executing this point (traced runs only)
+    spans: Optional[List[Dict[str, object]]] = None
 
     @property
     def ok(self) -> bool:
         """True when the point produced metrics (fresh or cached)."""
         return self.metrics is not None
 
+    def span_summary(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """Per-name span aggregate of this point (``None`` when untraced)."""
+        if self.spans is None:
+            return None
+        return obs.aggregate_spans(self.spans)
+
     def to_dict(self) -> Dict[str, object]:
-        """JSON-able record: one per sweep point in the artifacts."""
-        return {
+        """JSON-able record: one per sweep point in the artifacts.
+
+        The ``span_summary`` key appears only on traced runs, so untraced
+        artifacts (and the golden files pinned against them) are unchanged.
+        """
+        record = {
             "point": self.point.to_dict(),
             "ok": self.ok,
             "cached": self.cached,
@@ -94,6 +132,9 @@ class PointOutcome:
             "metrics": self.metrics,
             "error": self.error,
         }
+        if self.spans is not None:
+            record["span_summary"] = self.span_summary()
+        return record
 
 
 @dataclass
@@ -121,6 +162,12 @@ class SweepResult:
     def ok(self) -> bool:
         """True when every point succeeded."""
         return not self.failures
+
+    def span_summary(self) -> Dict[str, Dict[str, object]]:
+        """Merged span aggregate over every traced point (empty if untraced)."""
+        from repro.explore.records import merge_span_summaries
+
+        return merge_span_summaries(o.span_summary() for o in self.outcomes)
 
     def summary(self) -> str:
         """One-line sweep summary for logs and the CLI."""
@@ -261,6 +308,7 @@ def run_sweep(
     points = spec.expand() if isinstance(spec, SweepSpec) else [p.canonical() for p in spec]
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
+    tracer = obs.current_tracer()
 
     outcomes: Dict[int, PointOutcome] = {}
     finished = 0
@@ -268,33 +316,60 @@ def run_sweep(
     def report(index: int, outcome: PointOutcome) -> None:
         nonlocal finished
         if cache is not None and outcome.metrics is not None and not outcome.cached:
-            cache.put(outcome.point, outcome.metrics)
+            telemetry = None
+            if outcome.spans is not None:
+                telemetry = {
+                    "elapsed_s": round(outcome.elapsed_s, 6),
+                    "span_summary": outcome.span_summary(),
+                }
+            cache.put(outcome.point, outcome.metrics, telemetry=telemetry)
         outcomes[index] = outcome
         finished += 1
         if progress is not None:
             progress(outcome, finished, len(points))
 
     def report_raw(index: int, raw: object) -> None:
-        metrics, error, elapsed = raw  # the (picklable) _run_one result shape
-        report(index, PointOutcome(points[index], metrics, error, False, elapsed))
+        # the (picklable) _run_one result shape
+        metrics, error, elapsed, telemetry = raw
+        spans = None
+        if telemetry is not None:
+            spans = telemetry.get("spans")
+            if tracer is not None:
+                tracer.adopt(spans, telemetry.get("counters"))
+        report(
+            index, PointOutcome(points[index], metrics, error, False, elapsed, spans)
+        )
 
-    pending: List[Tuple[int, SweepPoint]] = []
-    hits = 0
-    for index, point in enumerate(points):
-        metrics = cache.get(point) if cache is not None else None
-        if metrics is not None:
-            hits += 1
-            report(index, PointOutcome(point, metrics, cached=True))
-        else:
-            pending.append((index, point))
+    with obs.span("explore.sweep", points=len(points), jobs=jobs):
+        pending: List[Tuple[int, SweepPoint]] = []
+        hits = 0
+        for index, point in enumerate(points):
+            metrics = cache.get(point) if cache is not None else None
+            if metrics is not None:
+                hits += 1
+                report(index, PointOutcome(point, metrics, cached=True))
+            else:
+                pending.append((index, point))
+        log.debug(
+            "sweep: %d point(s), %d cached, %d to run",
+            len(points), hits, len(pending),
+        )
 
-    used_fallback = False
-    effective_jobs = max(1, min(jobs, len(pending))) if pending else 1
-    if pending:
-        if effective_jobs > 1:
-            used_fallback = _run_parallel(_run_one, pending, effective_jobs, report_raw)
-        else:
-            _run_serial(_run_one, pending, report_raw)
+        worker = partial(_run_one, trace=tracer is not None)
+        used_fallback = False
+        effective_jobs = max(1, min(jobs, len(pending))) if pending else 1
+        if pending:
+            if effective_jobs > 1:
+                used_fallback = _run_parallel(
+                    worker, pending, effective_jobs, report_raw
+                )
+                if used_fallback:
+                    log.warning(
+                        "process pool unusable; remaining sweep points "
+                        "re-ran serially"
+                    )
+            else:
+                _run_serial(worker, pending, report_raw)
 
     return SweepResult(
         outcomes=[outcomes[i] for i in range(len(points))],

@@ -30,8 +30,13 @@ _POINT_COLUMNS = point_field_names()
 
 
 def sweep_to_json_obj(sweep: SweepResult) -> Dict[str, object]:
-    """JSON-able artifact: one record per sweep point plus a run summary."""
-    return {
+    """JSON-able artifact: one record per sweep point plus a run summary.
+
+    Traced sweeps additionally carry the merged ``span_summary`` (the
+    shared :func:`repro.obs.aggregate_spans` schema); untraced artifacts
+    are byte-identical to the pre-observability format.
+    """
+    obj = {
         "schema": "repro.explore.sweep",
         "schema_version": 1,
         "tool_version": __version__,
@@ -46,6 +51,10 @@ def sweep_to_json_obj(sweep: SweepResult) -> Dict[str, object]:
         },
         "points": [outcome.to_dict() for outcome in sweep.outcomes],
     }
+    span_summary = sweep.span_summary()
+    if span_summary:
+        obj["span_summary"] = span_summary
+    return obj
 
 
 def write_json(sweep: SweepResult, path: Union[str, Path]) -> Path:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import MappingError
 from repro.map.report import MapReport
 from repro.map.targets import (
@@ -131,6 +132,17 @@ class TechnologyMappingPass(RewritePass):
         return float(net.attributes.get("arrival", 0.0))
 
     def run(self, netlist: Netlist) -> int:
+        with obs.span(
+            "map.cover",
+            library=self.library.name,
+            objective=self.objective,
+            cells=netlist.num_cells(),
+        ) as cover_span:
+            changed = self._cover(netlist)
+            cover_span.set(covered=changed)
+        return changed
+
+    def _cover(self, netlist: Netlist) -> int:
         changed = 0
         # per-net arrival estimates accumulated along the sweep; only the
         # nets downstream cells can read need an entry (replacement nets,
@@ -152,9 +164,10 @@ class TechnologyMappingPass(RewritePass):
                         for port in in_ports
                     )
                 continue
-            template, out_arrivals = self._choose(
-                self._candidates(cell.cell_type), input_arrivals
-            )
+            candidates = self._candidates(cell.cell_type)
+            template, out_arrivals = self._choose(candidates, input_arrivals)
+            obs.counter("map.candidates_evaluated", len(candidates))
+            obs.counter("map.cells_covered")
             replacements = materialize_template(netlist, template, cell)
             for port, net in replacements.items():
                 arrivals[net.name] = out_arrivals[port]
@@ -204,43 +217,44 @@ def map_netlist(
             "only for a concrete target library"
         )
     start = time.perf_counter()
-    if source_library is None:
-        from repro.tech.default_libs import generic_035
+    with obs.span("map.netlist", target=target, objective=objective):
+        if source_library is None:
+            from repro.tech.default_libs import generic_035
 
-        source_library = generic_035()
-    library = resolve_target_library(target)
-    before = netlist_stats(netlist, source_library)
-    delay_before = compute_arrival_times(netlist, source_library).delay
+            source_library = generic_035()
+        library = resolve_target_library(target)
+        before = netlist_stats(netlist, source_library)
+        delay_before = compute_arrival_times(netlist, source_library).delay
 
-    mapping_pass = TechnologyMappingPass(library, objective=objective)
-    manager = PassManager(
-        [mapping_pass, CleanupPass(), DeadCellEliminationPass()],
-        max_iterations=max_iterations,
-        validate=validate,
-        check_equivalence=check_equivalence,
-        # no library for the manager's own stats: its "before" netlist mixes
-        # generic and basis cells, which no single library prices — the
-        # report's before/after stats are computed against the right library
-        # on either side of the run instead
-        library=None,
-        opt_level=0,
-    )
-    opt_report = manager.run(netlist)
-
-    stray = sorted(
-        {
-            cell.cell_type.value
-            for cell in netlist.cells.values()
-            if cell.cell_type not in mapping_pass.basis
-        }
-    )
-    if stray:
-        raise MappingError(
-            f"mapping to {target!r} left out-of-basis cell type(s): {stray}"
+        mapping_pass = TechnologyMappingPass(library, objective=objective)
+        manager = PassManager(
+            [mapping_pass, CleanupPass(), DeadCellEliminationPass()],
+            max_iterations=max_iterations,
+            validate=validate,
+            check_equivalence=check_equivalence,
+            # no library for the manager's own stats: its "before" netlist
+            # mixes generic and basis cells, which no single library prices —
+            # the report's before/after stats are computed against the right
+            # library on either side of the run instead
+            library=None,
+            opt_level=0,
         )
+        opt_report = manager.run(netlist)
 
-    after = netlist_stats(netlist, library)
-    delay_after = compute_arrival_times(netlist, library).delay
+        stray = sorted(
+            {
+                cell.cell_type.value
+                for cell in netlist.cells.values()
+                if cell.cell_type not in mapping_pass.basis
+            }
+        )
+        if stray:
+            raise MappingError(
+                f"mapping to {target!r} left out-of-basis cell type(s): {stray}"
+            )
+
+        after = netlist_stats(netlist, library)
+        delay_after = compute_arrival_times(netlist, library).delay
     return MapReport(
         target_lib=target,
         objective=objective,

@@ -1,0 +1,66 @@
+"""``repro.obs`` — structured tracing, metrics, logging and run manifests.
+
+The observability layer of the flow: a zero-dependency tracer with nested
+spans, counters and gauges (:mod:`repro.obs.tracer`), a Chrome trace-event
+exporter viewable in Perfetto / ``chrome://tracing``
+(:mod:`repro.obs.chrome`), a stdlib-``logging`` bridge with CLI-controlled
+verbosity (:mod:`repro.obs.logbridge`), a top-N span profiler
+(:mod:`repro.obs.profile`) and reproducibility manifests
+(:mod:`repro.obs.manifest`).
+
+Instrumented code calls the module-level helpers unconditionally::
+
+    from repro import obs
+
+    with obs.span("opt.constant-fold", iteration=2):
+        ...
+        obs.counter("opt.cells_removed", removed)
+
+When no tracer is installed (the default) these are near-free no-ops, so
+the instrumentation lives permanently in the hot paths; ``--trace FILE``
+on the CLI (or :func:`tracing` around any API call) turns one run into a
+merged, cross-process timeline.
+"""
+
+from repro.obs.chrome import (
+    trace_events,
+    trace_obj,
+    validate_trace_obj,
+    write_chrome_trace,
+)
+from repro.obs.logbridge import LOG_LEVELS, configure_logging, get_logger
+from repro.obs.manifest import peak_rss_bytes, run_manifest, write_manifest
+from repro.obs.profile import profile_rows, render_profile
+from repro.obs.tracer import (
+    Tracer,
+    aggregate_spans,
+    counter,
+    current_tracer,
+    disabled,
+    gauge,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "LOG_LEVELS",
+    "Tracer",
+    "aggregate_spans",
+    "configure_logging",
+    "counter",
+    "current_tracer",
+    "disabled",
+    "gauge",
+    "get_logger",
+    "peak_rss_bytes",
+    "profile_rows",
+    "render_profile",
+    "run_manifest",
+    "span",
+    "trace_events",
+    "trace_obj",
+    "tracing",
+    "validate_trace_obj",
+    "write_chrome_trace",
+    "write_manifest",
+]

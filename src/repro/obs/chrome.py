@@ -1,0 +1,148 @@
+"""Chrome trace-event JSON export (viewable in Perfetto / chrome://tracing).
+
+The exporter emits the *JSON object format* of the Trace Event spec: a
+``traceEvents`` list of complete-duration (``"ph": "X"``) events — one per
+finished span, with microsecond epoch timestamps — plus one counter
+(``"ph": "C"``) event per accumulated counter and process-name metadata
+(``"ph": "M"``) so Perfetto labels the per-pid lanes.
+
+Event ordering is canonicalized (sorted by ``(ts, pid, tid, name, dur)``),
+so merging the same set of spans in any adoption order serializes to the
+same file — the cross-process merge of a parallel sweep is deterministic
+given deterministic span data.
+
+:func:`validate_trace_obj` is the schema check used by the tests and by
+``tools/check_trace.py`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro._version import __version__
+from repro.obs.tracer import Tracer
+
+#: attrs value types that survive ``args`` export unmodified
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _args(attrs: Dict[str, object]) -> Dict[str, object]:
+    return {
+        key: value if isinstance(value, _JSON_SCALARS) else repr(value)
+        for key, value in attrs.items()
+    }
+
+
+def trace_events(
+    spans: Iterable[Dict[str, object]],
+    counters: Optional[Dict[str, float]] = None,
+) -> List[Dict[str, object]]:
+    """Convert span dicts (see :meth:`Tracer.to_dicts`) to trace events."""
+    events: List[Dict[str, object]] = []
+    pids = set()
+    last_ts: Dict[int, float] = {}
+    for record in spans:
+        pid = int(record.get("pid", 0))
+        pids.add(pid)
+        ts_us = float(record["ts"]) * 1e6
+        dur_us = max(0.0, float(record.get("dur", 0.0)) * 1e6)
+        args = _args(dict(record.get("attrs", {})))
+        if record.get("error") is not None:
+            args["error"] = record["error"]
+        events.append(
+            {
+                "name": str(record["name"]),
+                "ph": "X",
+                "ts": ts_us,
+                "dur": dur_us,
+                "pid": pid,
+                "tid": int(record.get("tid", 0)),
+                "args": args,
+            }
+        )
+        last_ts[pid] = max(last_ts.get(pid, 0.0), ts_us + dur_us)
+    events.sort(
+        key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"], e["dur"])
+    )
+    for pid in sorted(pids):
+        events.insert(
+            0,
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            },
+        )
+    if counters:
+        # counters are run-level aggregates: one sample at the end of the
+        # busiest lane keeps them visible without inventing a time series
+        ts = max(last_ts.values(), default=0.0)
+        pid = min(pids) if pids else 0
+        for name in sorted(counters):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": counters[name]},
+                }
+            )
+    return events
+
+
+def trace_obj(tracer: Tracer) -> Dict[str, object]:
+    """The full Chrome-trace JSON object for one tracer."""
+    return {
+        "traceEvents": trace_events(tracer.spans, tracer.counters),
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "repro-datapath", "tool_version": __version__},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write the tracer's Chrome-trace JSON file to ``path``."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_obj(tracer), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def validate_trace_obj(obj: object) -> List[str]:
+    """Schema-check a Chrome-trace JSON object; returns the problems found.
+
+    An empty list means the object is a well-formed trace: a dict with a
+    ``traceEvents`` list whose events carry ``name``/``ph``/``ts``/``pid``/
+    ``tid``, with non-negative ``dur`` on every complete (``"X"``) event.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"trace must be a JSON object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "C", "M", "B", "E", "i"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs a non-negative dur")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+    return problems

@@ -1,0 +1,95 @@
+"""Run manifests: the reproducibility record written next to run artifacts.
+
+A manifest answers "what produced this artifact?": tool version, config
+cache identity, seed, host and interpreter, wall/CPU time and peak RSS.
+It is deliberately flat JSON so CI can assert on single keys and a human
+can diff two manifests at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro._version import __version__
+
+#: artifact schema marker
+MANIFEST_SCHEMA = "repro.obs.manifest"
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, or ``None`` when unknown.
+
+    Uses ``resource.getrusage`` (POSIX); ``ru_maxrss`` is kilobytes on
+    Linux and bytes on macOS.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:
+        return None
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def run_manifest(
+    command: Optional[str] = None,
+    config: Optional[object] = None,
+    wall_s: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the manifest dict for the current process.
+
+    ``config`` may be a :class:`repro.api.FlowConfig` (its canonical cache
+    key, digest and seed are recorded) or ``None`` for commands without a
+    single config (sweeps, verification runs).  ``extra`` keys are merged
+    last, so callers can attach command-specific facts (point counts,
+    artifact paths).
+    """
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "schema_version": 1,
+        "tool_version": __version__,
+        "command": command,
+        "config_cache_key": None,
+        "config_cache_digest": None,
+        "seed": None,
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "pid": os.getpid(),
+        "cwd": os.getcwd(),
+        "unix_time": round(time.time(), 3),
+        "wall_s": round(wall_s, 6) if wall_s is not None else None,
+        "cpu_s": round(time.process_time(), 6),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    if config is not None:
+        manifest["config_cache_key"] = config.cache_key()
+        manifest["config_cache_digest"] = config.cache_digest()
+        manifest["seed"] = getattr(config, "seed", None)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(
+    path: Union[str, Path],
+    command: Optional[str] = None,
+    config: Optional[object] = None,
+    wall_s: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write :func:`run_manifest` output as JSON to ``path``."""
+    path = Path(path)
+    manifest = run_manifest(command=command, config=config, wall_s=wall_s, extra=extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

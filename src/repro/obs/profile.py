@@ -1,0 +1,65 @@
+"""Span-profile rendering: the ``--profile`` top-N table.
+
+Aggregates finished spans by name (count, total, mean, share of the
+longest-running name) and renders the classic profiler table.  Works on
+raw span dicts, so it applies equally to a live :class:`Tracer`, a merged
+multi-process sweep, or a trace file read back from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.obs.tracer import aggregate_spans
+from repro.utils.tables import TextTable
+
+#: default number of rows in the rendered profile
+DEFAULT_TOP = 15
+
+
+def profile_rows(spans: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-name profile rows, sorted by descending total time."""
+    summary = aggregate_spans(spans)
+    rows = [
+        {
+            "name": name,
+            "count": entry["count"],
+            "total_s": float(entry["total_s"]),
+            "mean_ms": 1e3 * float(entry["total_s"]) / max(1, int(entry["count"])),
+        }
+        for name, entry in summary.items()
+    ]
+    rows.sort(key=lambda row: (-row["total_s"], row["name"]))
+    return rows
+
+
+def render_profile(
+    spans: Iterable[Dict[str, object]],
+    top: int = DEFAULT_TOP,
+    counters: Dict[str, float] = None,
+) -> str:
+    """The human-readable top-N span table (plus counters when present)."""
+    rows = profile_rows(spans)
+    if not rows:
+        return "profile: no spans recorded"
+    reference = max(row["total_s"] for row in rows) or 1.0
+    table = TextTable(["span", "count", "total ms", "mean ms", "%"], float_digits=2)
+    for row in rows[: max(1, top)]:
+        table.add_row(
+            [
+                row["name"],
+                row["count"],
+                row["total_s"] * 1e3,
+                row["mean_ms"],
+                100.0 * row["total_s"] / reference,
+            ]
+        )
+    text = table.render(title=f"Span profile (top {min(len(rows), max(1, top))})")
+    if counters:
+        lines = [text, "counters:"]
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = int(value) if float(value).is_integer() else round(value, 6)
+            lines.append(f"  {name:<32} {rendered}")
+        text = "\n".join(lines)
+    return text

@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.errors import OptimizationError
 from repro.netlist.core import Netlist
 from repro.netlist.stats import netlist_stats
@@ -152,9 +153,21 @@ class PassManager:
             any_rewrites = False
             for rewrite_pass in self.passes:
                 cells_before = netlist.num_cells()
-                pass_start = time.perf_counter()
-                rewrites = rewrite_pass.run(netlist)
-                elapsed = time.perf_counter() - pass_start
+                with obs.span(
+                    f"opt.{rewrite_pass.name}", iteration=iteration
+                ) as pass_span:
+                    pass_start = time.perf_counter()
+                    rewrites = rewrite_pass.run(netlist)
+                    elapsed = time.perf_counter() - pass_start
+                    pass_span.set(
+                        rewrites=rewrites,
+                        cells_before=cells_before,
+                        cells_after=netlist.num_cells(),
+                    )
+                obs.counter("opt.rewrites", rewrites)
+                obs.counter(
+                    "opt.cells_removed", cells_before - netlist.num_cells()
+                )
                 stats.append(
                     PassStat(
                         pass_name=rewrite_pass.name,
@@ -180,7 +193,10 @@ class PassManager:
 
         equivalence = None
         if reference is not None:
-            equivalence = self._check(reference, netlist, "after the full pipeline")
+            with obs.span("opt.equivalence-check", cells=netlist.num_cells()):
+                equivalence = self._check(
+                    reference, netlist, "after the full pipeline"
+                )
 
         return OptReport(
             opt_level=self.opt_level,

@@ -26,8 +26,10 @@ import argparse
 import hashlib
 import random
 import time
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.api.config import FlowConfig, config_fields
 from repro.api.flow import Flow
 from repro.designs.registry import get_design, list_designs
@@ -162,47 +164,77 @@ def check_point(
         "elapsed_s": 0.0,
     }
     try:
-        design = get_design(point.design)
-        result = Flow(point.config()).run(design)
-        if mutation is not None:
-            PassManager(
-                [mutation],
-                max_iterations=1,
-                check_equivalence=False,
-                opt_level=0,
-            ).run(result.netlist)
-        record["validate_warnings"] = len(validate_netlist(result.netlist))
-        report = check_equivalence(
-            result.netlist,
-            result.output_bus,
-            design.expression,
-            design.signals,
-            output_width=result.output_width,
-            random_vector_count=random_vector_count,
-            exhaustive_width_limit=exhaustive_width_limit,
-            seed=case_seed(point),
-        )
-        record["equivalence"] = {
-            "equivalent": report.equivalent,
-            "vectors_checked": report.vectors_checked,
-            "exhaustive": report.exhaustive,
-            "mismatches": report.mismatches[:3],
-        }
-        record["ok"] = report.equivalent
-        if not report.equivalent:
-            record["error"] = (
-                f"netlist differs from the reference model "
-                f"({len(report.mismatches)} mismatching vector(s) sampled)"
-            )
+        with obs.span("verify.case", case=point.label()):
+            record.update(_check_point_body(point, mutation,
+                                            random_vector_count,
+                                            exhaustive_width_limit))
     except Exception as exc:  # per-case capture, like sweep points
         record["error"] = f"{type(exc).__name__}: {exc}"
     record["elapsed_s"] = time.perf_counter() - start
     return record
 
 
-def _fuzz_worker(point: "SweepPoint") -> Dict[str, object]:
-    """Picklable pool-worker body (no mutation support across processes)."""
-    return check_point(point)
+def _check_point_body(
+    point: "SweepPoint",
+    mutation: Optional[RewritePass],
+    random_vector_count: int,
+    exhaustive_width_limit: int,
+) -> Dict[str, object]:
+    """The raising core of one fuzz case: returns only the keys it computed."""
+    record: Dict[str, object] = {}
+    design = get_design(point.design)
+    result = Flow(point.config()).run(design)
+    if mutation is not None:
+        PassManager(
+            [mutation],
+            max_iterations=1,
+            check_equivalence=False,
+            opt_level=0,
+        ).run(result.netlist)
+    record["validate_warnings"] = len(validate_netlist(result.netlist))
+    report = check_equivalence(
+        result.netlist,
+        result.output_bus,
+        design.expression,
+        design.signals,
+        output_width=result.output_width,
+        random_vector_count=random_vector_count,
+        exhaustive_width_limit=exhaustive_width_limit,
+        seed=case_seed(point),
+    )
+    record["equivalence"] = {
+        "equivalent": report.equivalent,
+        "vectors_checked": report.vectors_checked,
+        "exhaustive": report.exhaustive,
+        "mismatches": report.mismatches[:3],
+    }
+    record["ok"] = report.equivalent
+    if not report.equivalent:
+        record["error"] = (
+            f"netlist differs from the reference model "
+            f"({len(report.mismatches)} mismatching vector(s) sampled)"
+        )
+    return record
+
+
+def _fuzz_worker(point: "SweepPoint", trace: bool = False) -> Dict[str, object]:
+    """Picklable pool-worker body (no mutation support across processes).
+
+    When ``trace`` is set the case runs under its own in-process tracer and
+    the record carries the picklable span/counter ``telemetry`` payload, so
+    the parent sweep can :meth:`~repro.obs.Tracer.adopt` it into one merged
+    timeline.
+    """
+    if not trace:
+        return check_point(point)
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        record = check_point(point)
+    record["telemetry"] = {
+        "spans": tracer.to_dicts(),
+        "counters": dict(tracer.counters),
+    }
+    return record
 
 
 def run_fuzz(
@@ -224,10 +256,18 @@ def run_fuzz(
             if progress is not None:
                 progress(records[-1], len(records), len(points))
         return records, False
+    tracer = obs.current_tracer()
+    worker = partial(_fuzz_worker, trace=tracer is not None)
     results, used_fallback = parallel_map(
-        _fuzz_worker, list(points), jobs=jobs, progress=progress
+        worker, list(points), jobs=jobs, progress=progress
     )
-    return list(results), used_fallback
+    records = list(results)
+    if tracer is not None:
+        for record in records:
+            telemetry = record.pop("telemetry", None)
+            if telemetry:
+                tracer.adopt(telemetry.get("spans", ()), telemetry.get("counters"))
+    return records, used_fallback
 
 
 # ---------------------------------------------------------------- CLI glue

@@ -36,7 +36,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
 
 from repro.api.config import FlowConfig
 from repro.api.flow import Flow
@@ -274,7 +277,8 @@ def check_property(name: str, point: "SweepPoint") -> Dict[str, object]:  # noqa
         record["elapsed_s"] = time.perf_counter() - start
         return record
     try:
-        record["detail"] = fn(get_design(point.design), point.config())
+        with obs.span("verify.property", property=name, case=point.label()):
+            record["detail"] = fn(get_design(point.design), point.config())
         record["ok"] = True
     except _Skip as skip:
         record["ok"] = True
@@ -288,9 +292,24 @@ def check_property(name: str, point: "SweepPoint") -> Dict[str, object]:  # noqa
     return record
 
 
-def _meta_worker(task: Tuple[str, "SweepPoint"]) -> Dict[str, object]:  # noqa: F821
-    """Picklable pool-worker body for one (property, point) task."""
-    return check_property(task[0], task[1])
+def _meta_worker(
+    task: Tuple[str, "SweepPoint"], trace: bool = False  # noqa: F821
+) -> Dict[str, object]:
+    """Picklable pool-worker body for one (property, point) task.
+
+    With ``trace`` set the check runs under its own tracer and the record
+    carries the picklable ``telemetry`` payload for the parent to adopt.
+    """
+    if not trace:
+        return check_property(task[0], task[1])
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        record = check_property(task[0], task[1])
+    record["telemetry"] = {
+        "spans": tracer.to_dicts(),
+        "counters": dict(tracer.counters),
+    }
+    return record
 
 
 def run_metamorphic(
@@ -312,7 +331,15 @@ def run_metamorphic(
     tasks = [(name, point) for point in points for name in names]
     if not set(names) <= _BUILTIN_PROPERTIES:
         jobs = 1
+    tracer = obs.current_tracer()
+    worker = partial(_meta_worker, trace=tracer is not None and jobs > 1)
     results, used_fallback = parallel_map(
-        _meta_worker, tasks, jobs=jobs, progress=progress
+        worker, tasks, jobs=jobs, progress=progress
     )
-    return list(results), used_fallback
+    records = list(results)
+    if tracer is not None:
+        for record in records:
+            telemetry = record.pop("telemetry", None)
+            if telemetry:
+                tracer.adopt(telemetry.get("spans", ()), telemetry.get("counters"))
+    return records, used_fallback

@@ -17,6 +17,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional, Sequence
 
+from repro import obs
+from repro.obs import get_logger
 from repro.opt.base import RewritePass
 from repro.verify.fuzz import Domain, run_fuzz, sample_points
 from repro.verify.golden import DEFAULT_GOLDEN_PATH, run_golden
@@ -35,6 +37,8 @@ DEFAULT_CASES = 24
 DEFAULT_METAMORPHIC_POINTS = 4
 
 ProgressFn = Callable[[str, Dict[str, object], int, int], None]
+
+log = get_logger("verify")
 
 
 def _phase_progress(
@@ -96,22 +100,28 @@ def run_verify(
         metamorphic_points = DEFAULT_METAMORPHIC_POINTS
 
     points = sample_points(n, seed, designs=designs, domain=domain)
-    fuzz_records, fuzz_fallback = run_fuzz(
-        points,
-        jobs=jobs,
-        mutation=mutation,
-        progress=_phase_progress(progress, "fuzz"),
-    )
+    log.info("verify: fuzz phase (%d cases, jobs=%d)", len(points), max(1, jobs))
+    with obs.span("verify.fuzz", cases=len(points), jobs=max(1, jobs)):
+        fuzz_records, fuzz_fallback = run_fuzz(
+            points,
+            jobs=jobs,
+            mutation=mutation,
+            progress=_phase_progress(progress, "fuzz"),
+        )
 
     base_points = points[: max(0, min(metamorphic_points, len(points)))]
-    meta_records, meta_fallback = run_metamorphic(
-        base_points, jobs=jobs, progress=_phase_progress(progress, "metamorphic")
-    )
+    log.info("verify: metamorphic phase (%d base cases)", len(base_points))
+    with obs.span("verify.metamorphic", base_cases=len(base_points)):
+        meta_records, meta_fallback = run_metamorphic(
+            base_points, jobs=jobs, progress=_phase_progress(progress, "metamorphic")
+        )
 
     golden_record = None
     golden_fallback = False
     if golden_path is not None:
-        golden_record = run_golden(golden_path, jobs=jobs, bless=bless)
+        log.info("verify: golden phase (%s)", golden_path)
+        with obs.span("verify.golden", path=str(golden_path), bless=bless):
+            golden_record = run_golden(golden_path, jobs=jobs, bless=bless)
         golden_fallback = bool(golden_record.get("used_fallback"))
 
     return VerifyReport(

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file produced by ``--trace``.
+
+CI's obs-smoke job runs this against the traces of a ``synth`` and an
+``explore`` run: the file must parse, satisfy the trace-event schema
+(:func:`repro.obs.validate_trace_obj`) and — via ``--require`` — contain
+the span names the instrumented flow is expected to emit.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_trace.py trace.json \
+        --require flow.run flow.frontend flow.optimize
+
+Exits non-zero (with one problem per line on stderr) on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+
+def check_trace(path: str, require: List[str]) -> List[str]:
+    """All problems with the trace file at ``path`` (empty list = valid)."""
+    from repro.obs import validate_trace_obj
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            obj = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    problems = [f"{path}: {problem}" for problem in validate_trace_obj(obj)]
+    if problems:
+        return problems
+    names = {
+        event.get("name")
+        for event in obj.get("traceEvents", ())
+        if event.get("ph") == "X"
+    }
+    for name in require:
+        if name not in names:
+            problems.append(f"{path}: required span {name!r} missing")
+    spans = [e for e in obj.get("traceEvents", ()) if e.get("ph") == "X"]
+    if not any(e.get("args") for e in spans):
+        problems.append(f"{path}: no span carries attributes")
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="+", help="trace file(s) to validate")
+    parser.add_argument(
+        "--require",
+        nargs="*",
+        default=[],
+        metavar="SPAN",
+        help="span names that must be present in every file",
+    )
+    args = parser.parse_args(argv)
+    problems: List[str] = []
+    for path in args.trace:
+        problems.extend(check_trace(path, args.require))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        for path in args.trace:
+            print(f"{path}: OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
