@@ -30,6 +30,13 @@ Observability extensions:
     first normalized by the total-runtime ratio (so a uniformly slower CI
     host does not trip the gate); any bench slower than the scaled
     baseline by more than the tolerance fails the run.
+``--history DIR``
+    Append one ``repro.obs.history`` record for this aggregator run to the
+    run-history store in ``DIR``: per-bench wall times become
+    ``bench.<name>`` span-summary entries (plus the merged flow span
+    summaries when ``--trace-dir`` is on), so ``repro-datapath obs check``
+    gates benchmark drift with the same host-normalized sentinel as flow
+    runs.
 """
 
 from __future__ import annotations
@@ -156,6 +163,52 @@ def check_against_baseline(
     return problems
 
 
+def append_history(
+    history_dir: pathlib.Path,
+    records: List[dict],
+    exit_code: int,
+    wall_s: float,
+    check_problems: "List[str] | None",
+) -> None:
+    """Append one run-history record for this aggregator invocation.
+
+    Each bench contributes a synthetic ``bench.<name>`` span-summary entry
+    carrying its wall time, alongside the real (merged) flow span
+    summaries of traced runs — so the history sentinel's host-normalized
+    wall-time check covers per-bench drift exactly like the ``--check``
+    ratchet, with last-N-median damping on top.
+    """
+    try:
+        from repro import obs
+    except ImportError:
+        sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+        from repro import obs
+    span_summary: dict = {}
+    for record in records:
+        for name, entry in (record.get("span_summary") or {}).items():
+            slot = span_summary.setdefault(name, {"count": 0, "total_s": 0.0})
+            slot["count"] += int(entry.get("count", 0))
+            slot["total_s"] = round(
+                slot["total_s"] + float(entry.get("total_s", 0.0)), 6
+            )
+        span_summary[f"bench.{record['bench']}"] = {
+            "count": 1,
+            "total_s": round(float(record["elapsed_s"]), 6),
+        }
+    record = obs.build_record(
+        command="benchmarks",
+        key="benchmarks:" + ",".join(sorted(r["bench"] for r in records)),
+        status="ok" if exit_code == 0 else "error",
+        exit_code=exit_code,
+        wall_s=wall_s,
+        span_summary=span_summary,
+        manifest=obs.run_manifest(command="benchmarks", wall_s=wall_s),
+        extra={"check_problems": check_problems},
+    )
+    obs.HistoryStore(history_dir).append(record)
+    print(f"appended benchmark record to history {history_dir}", file=sys.stderr)
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks",
@@ -187,6 +240,12 @@ def main(argv: List[str] = None) -> int:
         help="allowed per-bench slowdown for --check, after host-speed "
         "normalization (default: 0.25)",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="append one repro.obs.history record for this run to the "
+        "run-history store in this directory",
+    )
     args = parser.parse_args(argv)
 
     benches = discover(args.only)
@@ -203,6 +262,7 @@ def main(argv: List[str] = None) -> int:
         trace_dir = pathlib.Path(args.trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
 
+    run_start = time.perf_counter()
     failures = 0
     records = []
     for path in benches:
@@ -214,19 +274,28 @@ def main(argv: List[str] = None) -> int:
     if args.out:
         append_trajectory(pathlib.Path(args.out), records)
         print(f"appended trajectory entry to {args.out}", file=sys.stderr)
+    problems: List[str] = []
     if args.check:
         problems = check_against_baseline(
             pathlib.Path(args.check), records, args.tolerance
         )
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
-        if problems:
-            return 1
-        print(
-            f"no regressions vs {args.check} (tolerance {args.tolerance:.0%})",
-            file=sys.stderr,
+        if not problems:
+            print(
+                f"no regressions vs {args.check} (tolerance {args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+    exit_code = 1 if (failures or problems) else 0
+    if args.history:
+        append_history(
+            pathlib.Path(args.history),
+            records,
+            exit_code,
+            round(time.perf_counter() - run_start, 3),
+            problems if args.check else None,
         )
-    return 1 if failures else 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ truthful.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Optional, Sequence, Union
 
@@ -38,6 +39,29 @@ from repro.tech.library import TechLibrary
 
 #: a stage is either a registered name or a callable over the context
 StageLike = Union[str, Callable[[FlowContext], None]]
+
+#: fault-injection hook for the observability CI gate: "stage=seconds[,...]"
+#: sleeps inside the named stages' spans, so a planted slowdown is visible
+#: to the tracer, the history store and the regression sentinel exactly
+#: like a real one.  Ignored (with a warning) when malformed.
+STAGE_DELAY_ENV = "REPRO_STAGE_DELAY"
+
+
+def _stage_delays() -> dict:
+    """Parse :data:`STAGE_DELAY_ENV` into ``{stage_name: seconds}``."""
+    raw = os.environ.get(STAGE_DELAY_ENV)
+    if not raw:
+        return {}
+    delays = {}
+    for part in raw.split(","):
+        name, _, seconds = part.partition("=")
+        try:
+            delays[name.strip()] = float(seconds)
+        except ValueError:
+            obs.get_logger("api.flow").warning(
+                "ignoring malformed %s entry %r", STAGE_DELAY_ENV, part
+            )
+    return delays
 
 
 class Flow:
@@ -88,6 +112,7 @@ class Flow:
             delay_model=FADelayModel.from_library(library),
             power_model=FAPowerModel.from_library(library),
         )
+        delays = _stage_delays()
         with obs.span(
             "flow.run", design=design.name, method=config.method
         ) as flow_span:
@@ -99,6 +124,8 @@ class Flow:
                 with obs.span(f"flow.{name}", design=design.name, stage=name):
                     start = time.perf_counter()
                     try:
+                        if name in delays:
+                            time.sleep(delays[name])
                         fn(context)
                     finally:
                         # a raising stage still accounts its partial time;

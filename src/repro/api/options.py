@@ -151,12 +151,13 @@ def add_sweep_options(
 def add_observability_options(parser: argparse.ArgumentParser) -> None:
     """Add the shared observability flags (``--trace`` / ``--profile`` / ...).
 
-    Every flow-running subcommand gets the same four flags; the CLI driver
+    Every flow-running subcommand gets the same flags; the CLI driver
     consumes them uniformly (see ``repro.cli``): ``--trace`` installs a
     tracer for the whole command and writes a Chrome trace-event JSON file,
     ``--profile`` prints the top-span table to stderr, ``--log-level``
-    configures the ``repro`` logging bridge and ``--manifest`` writes the
-    run manifest.
+    configures the ``repro`` logging bridge, ``--manifest`` writes the run
+    manifest and ``--history`` appends the run record to a
+    :class:`repro.obs.HistoryStore`.
     """
     from repro.obs import LOG_LEVELS
 
@@ -184,6 +185,14 @@ def add_observability_options(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         default=None,
         help="write a JSON run manifest (config identity, host, timings)",
+    )
+    group.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="append this run's record (QoR, span summary, counters, "
+        "manifest) to the run-history store in DIR; implies span "
+        "collection (default: $REPRO_HISTORY when set)",
     )
 
 

@@ -20,6 +20,10 @@ Usage examples::
     repro-datapath verify --n 48 --methods fa_aot wallace --opt-levels 0 2
     repro-datapath verify --bless          # re-pin the golden metric snapshot
     repro-datapath verify --self-test      # planted bug must be caught
+    repro-datapath synth --design iir --history .history   # record the run
+    repro-datapath obs check --history .history            # regression gate
+    repro-datapath obs report --history .history --out report.html
+    repro-datapath obs flame run.trace.json --out run.collapsed
 
 Every flow knob flag on ``synth`` / ``compare``, every sweep-axis flag on
 ``explore`` and every fuzz-domain flag on ``verify`` is **generated from
@@ -35,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -111,10 +116,32 @@ def _cmd_list_designs(_: argparse.Namespace) -> int:
     return 0
 
 
+def _record_result(metrics: Optional[Dict[str, object]], key: Optional[str]) -> None:
+    """Feed one synthesized design into the active run recorder (if any)."""
+    recorder = obs.current_recorder()
+    if recorder is None:
+        return
+    if key is not None:
+        recorder.add_key(key)
+    recorder.add_qor(metrics)
+
+
+def _record_sweep(sweep: SweepResult) -> None:
+    """Feed a finished sweep into the active run recorder (if any)."""
+    recorder = obs.current_recorder()
+    if recorder is None:
+        return
+    for outcome in sweep.outcomes:
+        recorder.add_key(f"{outcome.point.design}:{outcome.point.digest()}")
+        if outcome.metrics is not None:
+            recorder.add_qor(outcome.metrics)
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     config = flow_config_from_args(args)
     library = resolve_library(config.library)
     result = Flow(config).run(args.design, library=library)
+    _record_result(result.to_dict(), f"{args.design}:{config.cache_digest()}")
     print(result.summary())
     if result.opt_report is not None:
         print()
@@ -153,7 +180,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         design, args.methods, library=resolve_library(config.library), config=config
     )
     for method in args.methods:
-        print(row.results[method].summary())
+        result = row.results[method]
+        _record_result(
+            result.to_dict(),
+            f"{design.name}:{result.config.cache_digest()}"
+            if result.config is not None
+            else None,
+        )
+        print(result.summary())
     if args.json:
         payload = {
             "design": design.name,
@@ -180,6 +214,7 @@ def _run_table_sweep(spec: SweepSpec, args: argparse.Namespace) -> SweepResult:
         )
     except ReproError as exc:
         raise SystemExit(str(exc))
+    _record_sweep(sweep)
     if not sweep.ok:
         for outcome in sweep.failures:
             log.error("  FAILED %s: %s", outcome.point.label(), outcome.error)
@@ -213,6 +248,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         log.info("  [%d/%d] %s: %s", done, total, outcome.point.label(), status)
 
     sweep = run_sweep(spec, jobs=args.jobs, cache=args.cache_dir, progress=progress)
+    _record_sweep(sweep)
     print(sweep_report(sweep, pareto=args.pareto))
     try:
         if args.json:
@@ -276,6 +312,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         )
     except ReproError as exc:
         raise SystemExit(str(exc))
+    recorder = obs.current_recorder()
+    if recorder is not None:
+        designs = ",".join(args.designs) if args.designs else "all"
+        recorder.add_key(
+            f"verify:designs={designs}:n={args.n if args.n is not None else 24}"
+            f":seed={args.seed}:smoke={args.smoke}"
+        )
+        recorder.add_extra(verify_ok=report.ok)
     print(report.render())
     if args.json:
         if args.json == "-":
@@ -287,6 +331,265 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 raise SystemExit(f"cannot write verification report: {exc}")
             print(f"wrote verification report to {path}")
     return 0 if report.ok else 1
+
+
+# ------------------------------------------------------- obs subcommands
+
+
+def _obs_store(args: argparse.Namespace) -> obs.HistoryStore:
+    """The history store addressed by ``--history`` / ``$REPRO_HISTORY``."""
+    history_dir = _history_dir_of(args)
+    if not history_dir:
+        raise SystemExit(
+            "no history store: pass --history DIR or set "
+            f"{obs.HISTORY_ENV} in the environment"
+        )
+    return obs.HistoryStore(history_dir)
+
+
+def _thresholds_from_args(args: argparse.Namespace) -> obs.Thresholds:
+    return obs.Thresholds(
+        qor_rel_tol=args.qor_tol,
+        wall_rel_tol=args.wall_tol,
+        min_wall_s=args.min_wall,
+        counter_rel_tol=args.counter_tol,
+        last_n=args.last_n,
+    )
+
+
+def _add_threshold_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("thresholds")
+    group.add_argument(
+        "--qor-tol", type=float, default=obs.Thresholds.qor_rel_tol,
+        metavar="REL", help="relative tolerance for float QoR metrics",
+    )
+    group.add_argument(
+        "--wall-tol", type=float, default=obs.Thresholds.wall_rel_tol,
+        metavar="REL",
+        help="relative wall-time tolerance after host-speed normalization",
+    )
+    group.add_argument(
+        "--min-wall", type=float, default=obs.Thresholds.min_wall_s,
+        metavar="SECONDS",
+        help="ignore spans below this duration; a drift must also exceed "
+        "it in absolute seconds",
+    )
+    group.add_argument(
+        "--counter-tol", type=float, default=obs.Thresholds.counter_rel_tol,
+        metavar="REL", help="relative tolerance for counter totals",
+    )
+    group.add_argument(
+        "--last-n", type=int, default=obs.Thresholds.last_n,
+        metavar="N", help="baseline = median over the last N ok runs",
+    )
+
+
+def _cmd_obs_ingest(args: argparse.Namespace) -> int:
+    store = _obs_store(args)
+    appended = 0
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read record file {path}: {exc}")
+        records = payload if isinstance(payload, list) else [payload]
+        for record in records:
+            problems = obs.validate_record(record)
+            if problems:
+                raise SystemExit(f"{path}: invalid record: {'; '.join(problems)}")
+            store.append(record)
+            appended += 1
+    print(f"ingested {appended} record(s) into {store.root}")
+    return 0
+
+
+def _check_keys(store: obs.HistoryStore, args: argparse.Namespace) -> List[str]:
+    """The grouping keys a diff/check invocation addresses."""
+    if getattr(args, "all", False):
+        return store.keys()
+    if args.key:
+        return [args.key]
+    records = store.records()
+    if not records:
+        raise SystemExit(f"history store {store.root} is empty")
+    return [str(records[-1]["key"])]
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    store = _obs_store(args)
+    thresholds = _thresholds_from_args(args)
+    results = [
+        obs.check_history(store, key=key, thresholds=thresholds)
+        for key in _check_keys(store, args)
+    ]
+    for result in results:
+        print(f"key {result['key']} (run {result['run_id']}):")
+        if result["baseline"] is None:
+            print(f"  {result.get('note', 'no baseline')}")
+        else:
+            print(
+                f"  baseline: median over {result['baseline']['runs']} run(s)"
+            )
+        for line in obs.render_findings(result["findings"]).splitlines():
+            print(f"  {line}")
+    if args.json:
+        _write_json_payload({"results": results}, args.json)
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    store = _obs_store(args)
+    thresholds = _thresholds_from_args(args)
+    results = [
+        obs.check_history(store, key=key, thresholds=thresholds)
+        for key in _check_keys(store, args)
+    ]
+    ok = True
+    for result in results:
+        gating = [
+            f for f in result["findings"] if f["severity"] in ("warn", "fail")
+        ]
+        verdict = "PASS" if result["ok"] else "FAIL"
+        note = result.get("note")
+        print(
+            f"{verdict} key {result['key']}: "
+            + (note if note else f"{len(gating)} gating finding(s)")
+        )
+        for line in obs.render_findings(gating).splitlines():
+            if gating:
+                print(f"  {line}")
+        ok = ok and result["ok"]
+    if args.json:
+        _write_json_payload({"ok": ok, "results": results}, args.json)
+    return 0 if ok else 1
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {args.trace}: {exc}")
+    try:
+        spans = obs.spans_from_trace_obj(trace)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    lines = obs.collapsed_stacks(spans)
+    if args.out == "-":
+        for line in lines:
+            print(line)
+        return 0
+    try:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+    except OSError as exc:
+        raise SystemExit(f"cannot write flamegraph to {args.out}: {exc}")
+    print(f"wrote {len(lines)} collapsed stack(s) to {args.out}")
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    store = _obs_store(args)
+    try:
+        path = obs.write_dashboard(store, args.out, key=args.key, title=args.title)
+    except OSError as exc:
+        raise SystemExit(f"cannot write dashboard to {args.out}: {exc}")
+    print(f"wrote dashboard to {path}")
+    return 0
+
+
+def _cmd_obs_compact(args: argparse.Namespace) -> int:
+    store = _obs_store(args)
+    summary = store.compact()
+    print(
+        f"compacted {store.root}: kept {summary['records']} record(s), "
+        f"dropped {summary['dropped']} corrupt line(s), "
+        f"{summary['segments_before']} -> {summary['segments_after']} segment(s)"
+    )
+    return 0
+
+
+def _add_obs_commands(sub) -> None:
+    """Register the ``obs`` subcommand family on the main subparsers."""
+    obs_parser = sub.add_parser(
+        "obs", help="run-history store: ingest, diff, check, flame, report"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    def history_arg(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--history", metavar="DIR", default=None,
+            help=f"history store directory (default: ${obs.HISTORY_ENV})",
+        )
+
+    ingest = obs_sub.add_parser(
+        "ingest", help="append externally produced record files to the store"
+    )
+    ingest.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="JSON files holding one record or a list of records",
+    )
+    history_arg(ingest)
+    ingest.set_defaults(func=_cmd_obs_ingest)
+
+    diff = obs_sub.add_parser(
+        "diff", help="show every finding of the latest run vs its baseline"
+    )
+    history_arg(diff)
+    diff.add_argument("--key", help="grouping key to diff (default: latest run's)")
+    diff.add_argument(
+        "--all", action="store_true", help="diff every key in the store"
+    )
+    diff.add_argument("--json", help="write the findings as JSON ('-' = stdout)")
+    _add_threshold_options(diff)
+    diff.set_defaults(func=_cmd_obs_diff)
+
+    check = obs_sub.add_parser(
+        "check",
+        help="regression gate: exit 1 on warn/fail findings vs the baseline",
+    )
+    history_arg(check)
+    check.add_argument("--key", help="grouping key to check (default: latest run's)")
+    check.add_argument(
+        "--all", action="store_true", help="check every key in the store"
+    )
+    check.add_argument("--json", help="write the verdict as JSON ('-' = stdout)")
+    _add_threshold_options(check)
+    check.set_defaults(func=_cmd_obs_check)
+
+    flame = obs_sub.add_parser(
+        "flame",
+        help="collapsed-stack flamegraph from a Chrome trace "
+        "(flamegraph.pl / speedscope input)",
+    )
+    flame.add_argument("trace", help="Chrome trace-event JSON file (--trace output)")
+    flame.add_argument(
+        "--out", default="-", metavar="FILE",
+        help="collapsed-stack output file ('-' = stdout)",
+    )
+    flame.set_defaults(func=_cmd_obs_flame)
+
+    report = obs_sub.add_parser(
+        "report", help="self-contained HTML dashboard of QoR and latency trends"
+    )
+    history_arg(report)
+    report.add_argument(
+        "--out", default="repro-report.html", metavar="FILE",
+        help="dashboard output file (default: repro-report.html)",
+    )
+    report.add_argument("--key", help="restrict the dashboard to one grouping key")
+    report.add_argument(
+        "--title", default="repro run history", help="dashboard page title"
+    )
+    report.set_defaults(func=_cmd_obs_report)
+
+    compact = obs_sub.add_parser(
+        "compact", help="rewrite the store dropping corrupt lines, rebuild index"
+    )
+    history_arg(compact)
+    compact.set_defaults(func=_cmd_obs_compact)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -413,6 +716,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_observability_options(verify)
     verify.set_defaults(func=_cmd_verify)
 
+    _add_obs_commands(sub)
+
     return parser
 
 
@@ -433,7 +738,11 @@ def _manifest_config(args: argparse.Namespace):
 
 
 def _emit_observability(
-    args: argparse.Namespace, tracer: Optional[obs.Tracer], wall_s: float
+    args: argparse.Namespace,
+    tracer: Optional[obs.Tracer],
+    wall_s: float,
+    status: str = "ok",
+    exit_code: int = 0,
 ) -> None:
     """Write the requested trace / profile / manifest artifacts."""
     if tracer is not None and args.trace:
@@ -448,40 +757,108 @@ def _emit_observability(
             file=sys.stderr,
         )
     if args.manifest:
+        extra: Dict[str, object] = {"status": status, "exit_code": exit_code}
+        if tracer is not None:
+            extra.update({"trace": args.trace, "spans": len(tracer.spans)})
         try:
             path = obs.write_manifest(
                 args.manifest,
                 command=args.command,
                 config=_manifest_config(args),
                 wall_s=wall_s,
-                extra={"trace": args.trace, "spans": len(tracer.spans)}
-                if tracer is not None
-                else None,
+                extra=extra,
             )
         except OSError as exc:
             raise SystemExit(f"cannot write manifest to {args.manifest}: {exc}")
         log.info("wrote run manifest to %s", path)
 
 
+def _append_history(
+    args: argparse.Namespace,
+    recorder: obs.RunRecorder,
+    tracer: Optional[obs.Tracer],
+    history_dir: str,
+    status: str,
+    exit_code: int,
+    wall_s: float,
+) -> None:
+    """Append this run's record to the history store (best effort)."""
+    if not recorder.key_parts:
+        # a run that produced nothing (early SystemExit, bad flags) still
+        # leaves a record, grouped under its command
+        recorder.add_key(f"command:{args.command}")
+    record = recorder.build(
+        status=status,
+        exit_code=exit_code,
+        wall_s=wall_s,
+        span_summary=obs.aggregate_spans(tracer.spans) if tracer is not None else None,
+        counters=dict(tracer.counters) if tracer is not None else None,
+        manifest=obs.run_manifest(
+            command=args.command,
+            config=_manifest_config(args),
+            wall_s=wall_s,
+            extra={"status": status, "exit_code": exit_code},
+        ),
+    )
+    try:
+        run_id = obs.HistoryStore(history_dir).append(record)
+    except (OSError, ValueError) as exc:
+        # history must never turn a good run into a failed one
+        log.error("cannot append run history to %s: %s", history_dir, exc)
+        return
+    log.info(
+        "appended run %s (key %s) to history %s", run_id, record["key"], history_dir
+    )
+
+
+def _history_dir_of(args: argparse.Namespace) -> Optional[str]:
+    """The history store directory of this invocation, or ``None``."""
+    return getattr(args, "history", None) or os.environ.get(obs.HISTORY_ENV) or None
+
+
 def _run_command(args: argparse.Namespace) -> int:
     """Run one subcommand under the observability umbrella.
 
-    Commands without the shared flags (``list-designs``) run bare.  A
-    tracer is installed only when ``--trace`` / ``--profile`` asked for
-    spans, so plain runs keep the disabled-tracing fast path.  Artifacts
-    are written even when the command exits via ``SystemExit`` — a failed
-    sweep's partial trace is exactly what one wants to look at.
+    Commands without the shared flags (``list-designs``, the ``obs``
+    family) run bare.  A tracer is installed when ``--trace`` /
+    ``--profile`` asked for spans or ``--history`` needs span summaries,
+    so plain runs keep the disabled-tracing fast path.  Artifacts are
+    written even when the command exits via ``SystemExit`` — a failed
+    sweep's partial trace is exactly what one wants to look at — and the
+    history record carries the end-to-end exit status either way.
     """
     if not hasattr(args, "log_level"):
         return args.func(args)
     obs.configure_logging(args.log_level)
-    tracer = obs.Tracer() if (args.trace or args.profile) else None
+    history_dir = _history_dir_of(args)
+    tracer = (
+        obs.Tracer() if (args.trace or args.profile or history_dir) else None
+    )
+    recorder = obs.RunRecorder(args.command) if history_dir else None
     start = time.perf_counter()
+    code: Optional[int] = None
+    failed = False
     try:
-        with obs.tracing(tracer):
+        with obs.tracing(tracer), obs.recording(recorder):
             code = args.func(args)
+    except SystemExit as exc:
+        if isinstance(exc.code, int):
+            code = exc.code
+        else:
+            code = 0 if exc.code is None else 1
+        raise
+    except BaseException:
+        failed = True
+        raise
     finally:
-        _emit_observability(args, tracer, time.perf_counter() - start)
+        wall_s = time.perf_counter() - start
+        exit_code = 1 if (failed or code is None) else code
+        status = "ok" if exit_code == 0 else "error"
+        _emit_observability(args, tracer, wall_s, status=status, exit_code=exit_code)
+        if recorder is not None and history_dir is not None:
+            _append_history(
+                args, recorder, tracer, history_dir, status, exit_code, wall_s
+            )
     return code
 
 

@@ -28,9 +28,36 @@ from repro.obs.chrome import (
     validate_trace_obj,
     write_chrome_trace,
 )
+from repro.obs.history import (
+    HISTORY_ENV,
+    HistoryStore,
+    RunRecorder,
+    Thresholds,
+    build_record,
+    check_history,
+    current_recorder,
+    diff_records,
+    gating_findings,
+    recording,
+    render_findings,
+    select_baseline,
+    validate_record,
+)
 from repro.obs.logbridge import LOG_LEVELS, configure_logging, get_logger
-from repro.obs.manifest import peak_rss_bytes, run_manifest, write_manifest
+from repro.obs.manifest import (
+    git_provenance,
+    peak_rss_bytes,
+    run_manifest,
+    write_manifest,
+)
 from repro.obs.profile import profile_rows, render_profile
+from repro.obs.report import (
+    collapsed_stacks,
+    render_dashboard,
+    spans_from_trace_obj,
+    write_dashboard,
+    write_flamegraph,
+)
 from repro.obs.tracer import (
     Tracer,
     aggregate_spans,
@@ -43,24 +70,43 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "HISTORY_ENV",
+    "HistoryStore",
     "LOG_LEVELS",
+    "RunRecorder",
+    "Thresholds",
     "Tracer",
     "aggregate_spans",
+    "build_record",
+    "check_history",
+    "collapsed_stacks",
     "configure_logging",
     "counter",
+    "current_recorder",
     "current_tracer",
+    "diff_records",
     "disabled",
+    "gating_findings",
     "gauge",
     "get_logger",
+    "git_provenance",
     "peak_rss_bytes",
     "profile_rows",
+    "recording",
+    "render_dashboard",
+    "render_findings",
     "render_profile",
     "run_manifest",
+    "select_baseline",
     "span",
+    "spans_from_trace_obj",
     "trace_events",
     "trace_obj",
     "tracing",
+    "validate_record",
     "validate_trace_obj",
     "write_chrome_trace",
+    "write_dashboard",
+    "write_flamegraph",
     "write_manifest",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -20,6 +21,39 @@ from repro._version import __version__
 
 #: artifact schema marker
 MANIFEST_SCHEMA = "repro.obs.manifest"
+
+#: memoized (commit, dirty) once per process — `git` costs ~10ms per call
+_GIT_PROVENANCE: Optional[Dict[str, object]] = None
+
+
+def git_provenance() -> Dict[str, object]:
+    """Repo provenance of the running tree: ``{git_commit, git_dirty}``.
+
+    Best effort: outside a work tree, or with no ``git`` on PATH, both
+    values are ``None`` — a manifest must never fail because the tool was
+    installed from a tarball.  Memoized per process (the answer cannot
+    change mid-run).
+    """
+    global _GIT_PROVENANCE
+    if _GIT_PROVENANCE is not None:
+        return dict(_GIT_PROVENANCE)
+    here = os.path.dirname(os.path.abspath(__file__))
+    commit: Optional[str] = None
+    dirty: Optional[bool] = None
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=here, capture_output=True, text=True, timeout=5, check=True,
+        ).stdout.strip() or None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=here, capture_output=True, text=True, timeout=5, check=True,
+        )
+        dirty = bool(status.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        commit, dirty = None, None
+    _GIT_PROVENANCE = {"git_commit": commit, "git_dirty": dirty}
+    return dict(_GIT_PROVENANCE)
 
 
 def peak_rss_bytes() -> Optional[int]:
@@ -70,6 +104,7 @@ def run_manifest(
         "cpu_s": round(time.process_time(), 6),
         "peak_rss_bytes": peak_rss_bytes(),
     }
+    manifest.update(git_provenance())
     if config is not None:
         manifest["config_cache_key"] = config.cache_key()
         manifest["config_cache_digest"] = config.cache_digest()

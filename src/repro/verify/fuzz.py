@@ -154,9 +154,9 @@ def check_point(
     """
     start = time.perf_counter()
     record: Dict[str, object] = {
-        "label": point.label(),
-        "point": point.to_dict(),
-        "stimulus_seed": case_seed(point),
+        "label": "?",
+        "point": None,
+        "stimulus_seed": None,
         "ok": False,
         "validate_warnings": None,
         "equivalence": None,
@@ -164,7 +164,13 @@ def check_point(
         "elapsed_s": 0.0,
     }
     try:
-        with obs.span("verify.case", case=point.label()):
+        # the identity fields live inside the guard too: a point whose
+        # label/serialization raises must yield an error record, not crash
+        # a pool worker (which would drop its telemetry with it)
+        record["label"] = point.label()
+        record["point"] = point.to_dict()
+        record["stimulus_seed"] = case_seed(point)
+        with obs.span("verify.case", case=record["label"]):
             record.update(_check_point_body(point, mutation,
                                             random_vector_count,
                                             exhaustive_width_limit))
@@ -228,8 +234,18 @@ def _fuzz_worker(point: "SweepPoint", trace: bool = False) -> Dict[str, object]:
     if not trace:
         return check_point(point)
     tracer = obs.Tracer()
-    with obs.tracing(tracer):
-        record = check_point(point)
+    try:
+        with obs.tracing(tracer):
+            record = check_point(point)
+    except Exception as exc:
+        # check_point never raises by contract; if that contract is ever
+        # broken the spans recorded up to the failure must still reach
+        # the parent alongside the error record
+        record = {
+            "label": "?", "point": None, "stimulus_seed": None, "ok": False,
+            "validate_warnings": None, "equivalence": None,
+            "error": f"{type(exc).__name__}: {exc}", "elapsed_s": 0.0,
+        }
     record["telemetry"] = {
         "spans": tracer.to_dicts(),
         "counters": dict(tracer.counters),

@@ -259,8 +259,8 @@ def check_property(name: str, point: "SweepPoint") -> Dict[str, object]:  # noqa
     start = time.perf_counter()
     record: Dict[str, object] = {
         "property": name,
-        "label": point.label(),
-        "point": point.to_dict(),
+        "label": "?",
+        "point": None,
         "ok": False,
         "skipped": False,
         "detail": None,
@@ -277,7 +277,12 @@ def check_property(name: str, point: "SweepPoint") -> Dict[str, object]:  # noqa
         record["elapsed_s"] = time.perf_counter() - start
         return record
     try:
-        with obs.span("verify.property", property=name, case=point.label()):
+        # identity fields inside the guard: a point whose label or
+        # serialization raises yields an error record instead of crashing
+        # the pool worker and dropping its telemetry
+        record["label"] = point.label()
+        record["point"] = point.to_dict()
+        with obs.span("verify.property", property=name, case=record["label"]):
             record["detail"] = fn(get_design(point.design), point.config())
         record["ok"] = True
     except _Skip as skip:
@@ -303,8 +308,18 @@ def _meta_worker(
     if not trace:
         return check_property(task[0], task[1])
     tracer = obs.Tracer()
-    with obs.tracing(tracer):
-        record = check_property(task[0], task[1])
+    try:
+        with obs.tracing(tracer):
+            record = check_property(task[0], task[1])
+    except Exception as exc:
+        # check_property never raises by contract; if that contract is
+        # ever broken the spans recorded up to the failure must still
+        # reach the parent alongside the error record
+        record = {
+            "property": task[0], "label": "?", "point": None, "ok": False,
+            "skipped": False, "detail": None,
+            "error": f"{type(exc).__name__}: {exc}", "elapsed_s": 0.0,
+        }
     record["telemetry"] = {
         "spans": tracer.to_dicts(),
         "counters": dict(tracer.counters),

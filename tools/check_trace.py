@@ -1,15 +1,20 @@
 #!/usr/bin/env python
-"""Validate a Chrome trace-event JSON file produced by ``--trace``.
+"""Validate observability artifacts: Chrome traces and history stores.
 
 CI's obs-smoke job runs this against the traces of a ``synth`` and an
 ``explore`` run: the file must parse, satisfy the trace-event schema
 (:func:`repro.obs.validate_trace_obj`) and — via ``--require`` — contain
-the span names the instrumented flow is expected to emit.
+the span names the instrumented flow is expected to emit.  The obs-history
+job runs the ``--history`` mode against a run-history store directory:
+every segment record must satisfy the record schema and the compacted
+index must agree with the segments (:meth:`repro.obs.HistoryStore.check`).
 
 Usage::
 
     PYTHONPATH=src python tools/check_trace.py trace.json \
         --require flow.run flow.frontend flow.optimize
+    PYTHONPATH=src python tools/check_trace.py --history .history \
+        --min-records 2
 
 Exits non-zero (with one problem per line on stderr) on any violation.
 """
@@ -48,9 +53,25 @@ def check_trace(path: str, require: List[str]) -> List[str]:
     return problems
 
 
+def check_history(path: str, min_records: int = 0) -> List[str]:
+    """All problems with the history store at ``path`` (empty list = valid)."""
+    from repro.obs import HistoryStore
+
+    store = HistoryStore(path)
+    problems = [f"{path}: {problem}" for problem in store.check()]
+    if min_records:
+        count = sum(1 for _record in store.iter_records())
+        if count < min_records:
+            problems.append(
+                f"{path}: store holds {count} record(s), "
+                f"expected at least {min_records}"
+            )
+    return problems
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", nargs="+", help="trace file(s) to validate")
+    parser.add_argument("trace", nargs="*", help="trace file(s) to validate")
     parser.add_argument(
         "--require",
         nargs="*",
@@ -58,15 +79,35 @@ def main(argv: List[str] = None) -> int:
         metavar="SPAN",
         help="span names that must be present in every file",
     )
+    parser.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="validate the run-history store in DIR "
+        "(record schema + index consistency)",
+    )
+    parser.add_argument(
+        "--min-records",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --history: require at least N valid records",
+    )
     args = parser.parse_args(argv)
+    if not args.trace and not args.history:
+        parser.error("nothing to check: pass trace file(s) and/or --history DIR")
     problems: List[str] = []
     for path in args.trace:
         problems.extend(check_trace(path, args.require))
+    if args.history:
+        problems.extend(check_history(args.history, args.min_records))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
         for path in args.trace:
             print(f"{path}: OK")
+        if args.history:
+            print(f"{args.history}: OK")
     return 1 if problems else 0
 
 
