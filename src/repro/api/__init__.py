@@ -8,7 +8,7 @@ This package is the spine of the system:
   the CLI, the sweep engine, the result cache and the legacy
   ``synthesize(**kwargs)`` shim all derive from it.
 * :class:`Flow` — the staged pipeline
-  (``frontend -> reduce -> final_adder -> optimize -> map -> analyze``) with
+  (``frontend -> reduce -> final_adder -> optimize -> map -> place -> analyze``) with
   registrable stages and individually skippable analysis passes.
 * :class:`FlowResult` — the run result: netlist, metrics, per-stage
   artifacts and wall-times.  Subsumes the legacy :class:`SynthesisResult`.

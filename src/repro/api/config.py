@@ -78,8 +78,16 @@ def _meta(
     axis: Optional[str] = None,
     axis_flag: Optional[str] = None,
     cache: bool = True,
+    fuzz: Optional[Tuple] = None,
 ) -> Dict[str, Dict[str, object]]:
-    """Build the ``field(metadata=...)`` payload for one config knob."""
+    """Build the ``field(metadata=...)`` payload for one config knob.
+
+    ``fuzz`` pins the verifier's sampling domain for choice-free fields
+    whose full value space would be invalid or pathologically expensive to
+    fuzz (e.g. ``fabric_rows``, where a random integer is either rejected
+    at construction or describes a fabric of millions of sites); fields
+    without it derive their domain from ``choices``/``kind`` as usual.
+    """
     return {
         "repro": {
             "help": help,
@@ -89,6 +97,7 @@ def _meta(
             "axis": axis,
             "axis_flag": axis_flag,
             "cache": cache,
+            "fuzz": fuzz,
         }
     }
 
@@ -113,6 +122,8 @@ class FieldSpec:
     axis: Optional[str]
     axis_flag: Optional[str]
     cache_relevant: bool
+    #: explicit fuzz-domain override for choice-free fields (None = derive)
+    fuzz: Optional[Tuple] = None
 
 
 @dataclass(frozen=True)
@@ -254,6 +265,60 @@ class FlowConfig:
             flag="--analyses",
         ),
     )
+    place: bool = field(
+        default=False,
+        metadata=_meta(
+            "run the physical-design backend: annealing placement, "
+            "wire-aware timing and H-tree clock synthesis",
+            kind="bool",
+            flag="--place",
+            axis="place_options",
+            axis_flag="--place",
+        ),
+    )
+    fabric_rows: Optional[int] = field(
+        default=None,
+        metadata=_meta(
+            "placement fabric rows (default: auto-sized for the netlist)",
+            kind="optional_int",
+            flag="--fabric-rows",
+            axis="fabric_rows_values",
+            axis_flag="--fabric-rows",
+            fuzz=(None,),
+        ),
+    )
+    fabric_cols: Optional[int] = field(
+        default=None,
+        metadata=_meta(
+            "placement fabric columns (default: auto-sized for the netlist)",
+            kind="optional_int",
+            flag="--fabric-cols",
+            axis="fabric_cols_values",
+            axis_flag="--fabric-cols",
+            fuzz=(None,),
+        ),
+    )
+    place_seed: int = field(
+        default=1,
+        metadata=_meta(
+            "random seed of the annealing placer",
+            kind="int",
+            flag="--place-seed",
+            axis="place_seeds",
+            axis_flag="--place-seeds",
+        ),
+    )
+    place_iters: int = field(
+        default=2000,
+        metadata=_meta(
+            "annealing moves proposed by the placer",
+            kind="int",
+            flag="--place-iters",
+            axis="place_iters_values",
+            axis_flag="--place-iters",
+            fuzz=(200, 800),
+        ),
+    )
     opt_validate: bool = field(
         default=False,
         metadata=_meta(
@@ -300,6 +365,18 @@ class FlowConfig:
                 raise ConfigError(
                     f"unknown {spec.name} {value!r}; expected one of {spec.choices}"
                 )
+        # physical-design knobs have open integer ranges; reject the
+        # geometrically meaningless values at construction time
+        for name in ("fabric_rows", "fabric_cols"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigError(
+                    f"{name} must be a positive site count, got {value}"
+                )
+        if self.place_iters < 0:
+            raise ConfigError(
+                f"place_iters must be non-negative, got {self.place_iters}"
+            )
 
     @staticmethod
     def _check_type(spec: FieldSpec, value: object) -> None:
@@ -362,9 +439,11 @@ class FlowConfig:
         consumes it (only ``fa_random`` and the random-probability protocol
         do); the mapping objective is reset when ``target_lib`` is the
         identity ``"generic"`` target (nothing is mapped, so the objective
-        cannot matter); ``analyses`` is deduplicated and sorted into
-        registry order.  Two configs describing the same computation
-        therefore share one :meth:`cache_key`.
+        cannot matter); the fabric/placer knobs are reset when ``place``
+        is off (the stage is skipped, so they cannot matter); ``analyses``
+        is deduplicated and sorted into registry order.  Two configs
+        describing the same computation therefore share one
+        :meth:`cache_key`.
         """
         defaults = {spec.name: spec.default for spec in config_fields()}
         cfg = self
@@ -388,6 +467,11 @@ class FlowConfig:
         if cfg.target_lib == GENERIC_TARGET:
             if cfg.map_objective != defaults["map_objective"]:
                 cfg = replace(cfg, map_objective=defaults["map_objective"])
+        if not cfg.place:
+            # with the place stage skipped no fabric/placer knob can matter
+            place_knobs = ("fabric_rows", "fabric_cols", "place_seed", "place_iters")
+            if any(getattr(cfg, name) != defaults[name] for name in place_knobs):
+                cfg = replace(cfg, **{name: defaults[name] for name in place_knobs})
         order = {name: i for i, name in enumerate(_registered_analyses())}
         analyses = tuple(
             sorted(dict.fromkeys(cfg.analyses), key=lambda name: order.get(name, 99))
@@ -459,6 +543,7 @@ def config_fields() -> Tuple[FieldSpec, ...]:
                 axis=meta["axis"],
                 axis_flag=meta["axis_flag"],
                 cache_relevant=meta["cache"],
+                fuzz=meta["fuzz"],
             )
         )
     _SPEC_CACHE = (version, tuple(specs))

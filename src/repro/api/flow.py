@@ -3,7 +3,7 @@
 ``Flow(config).run(design)`` is the canonical way to synthesize: it prepares
 the design and the technology library, threads a
 :class:`~repro.api.stages.FlowContext` through the registered stages
-(``frontend -> reduce -> final_adder -> optimize -> map -> analyze``) and assembles
+(``frontend -> reduce -> final_adder -> optimize -> map -> place -> analyze``) and assembles
 a :class:`~repro.api.result.FlowResult` with per-stage wall-times and
 artifacts.
 
@@ -178,6 +178,7 @@ def _build_result(context: FlowContext) -> FlowResult:
         opt_report=context.opt_report,
         pre_opt_stats=context.pre_opt_stats,
         map_report=context.map_report,
+        place_report=context.place_report,
         config=config,
         analyses=tuple(config.analyses),
         stage_times=dict(context.stage_times),

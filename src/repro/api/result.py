@@ -119,6 +119,8 @@ class FlowResult(SynthesisResult):
     config: Optional["FlowConfig"] = None  # noqa: F821 - forward ref, no cycle
     #: technology-mapping report (None when ``target_lib`` was ``"generic"``)
     map_report: Optional["MapReport"] = None  # noqa: F821 - forward ref
+    #: physical-design report (None when ``place`` was off)
+    place_report: Optional["PlaceReport"] = None  # noqa: F821 - forward ref
     #: the analysis passes that actually ran
     analyses: Tuple[str, ...] = ()
     #: wall time per executed stage (and per analysis, ``analyze:<name>``) —
@@ -142,6 +144,15 @@ class FlowResult(SynthesisResult):
         out["map_report"] = (
             self.map_report.to_dict() if self.map_report is not None else None
         )
+        out["place_report"] = (
+            self.place_report.to_dict() if self.place_report is not None else None
+        )
+        # flat physical-design headline metrics: CSV columns, QoR records
+        # and the history sentinel consume these without digging into the
+        # nested report (None when the place stage was skipped)
+        place = self.place_report
+        out["place_hpwl"] = round(place.total_hpwl, 6) if place is not None else None
+        out["cts_skew_ns"] = place.cts_skew_ns if place is not None else None
         return out
 
     def stage_report(self) -> str:

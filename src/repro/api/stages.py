@@ -20,6 +20,12 @@ A flow run is a sequence of *stages* operating on one mutable
     (no-op for the default ``"generic"`` target).  After this stage the
     context's library *is* the target library, so every analysis below
     prices and times the mapped netlist against the basis it consists of.
+``place``
+    Run the physical-design backend (:mod:`repro.place`) when
+    ``config.place`` is set: anneal a placement on the (auto-sized or
+    pinned) fabric, validate it, build the H-tree clock and leave the
+    per-net wire-delay map on the context for the timing analysis —
+    no-op by default, so the classic zero-wire flow is untouched.
 ``analyze``
     Run the *analysis passes* selected by ``config.analyses``.  Analyses are
     individually registrable and skippable — ``analyses=("timing",)`` skips
@@ -60,6 +66,7 @@ from repro.netlist.cells import CellType
 from repro.netlist.core import Bus, Netlist
 from repro.netlist.stats import netlist_stats
 from repro.opt.manager import optimize_netlist
+from repro.place.runner import place_netlist
 from repro.power.probability import propagate_probabilities
 from repro.power.switching import estimate_power
 from repro.tech.library import TechLibrary
@@ -86,6 +93,12 @@ class FlowContext:
     opt_report: Optional[object] = None
     pre_opt_stats: Optional[object] = None
     map_report: Optional[object] = None
+    place_report: Optional[object] = None
+    #: the cell -> site assignment produced by the place stage
+    placement: Optional[object] = None
+    #: per-net added wire delay (ns) from the placement; consumed by the
+    #: timing analysis so post-place critical paths are wire-aware
+    net_delays: Optional[Dict[str, float]] = None
     #: per-stage and per-analysis artifacts, keyed by stage/analysis name
     artifacts: Dict[str, object] = field(default_factory=dict)
     #: wall time of each executed stage / analysis, in seconds
@@ -96,7 +109,15 @@ StageFn = Callable[[FlowContext], None]
 AnalysisFn = Callable[[FlowContext], object]
 
 #: the default pipeline, in execution order
-STAGE_ORDER = ("frontend", "reduce", "final_adder", "optimize", "map", "analyze")
+STAGE_ORDER = (
+    "frontend",
+    "reduce",
+    "final_adder",
+    "optimize",
+    "map",
+    "place",
+    "analyze",
+)
 
 _STAGES: Dict[str, StageFn] = {}
 _ANALYSES: Dict[str, AnalysisFn] = {}  # insertion order = canonical order
@@ -322,6 +343,34 @@ def map_stage(context: FlowContext) -> None:
     context.artifacts["map"] = report
 
 
+@register_stage("place")
+def place_stage(context: FlowContext) -> None:
+    """Place the netlist on the fabric and derive the wire-delay map."""
+    config = context.config
+    if not config.place:
+        return
+    result = place_netlist(
+        context.netlist,
+        library=context.library,
+        rows=config.fabric_rows,
+        cols=config.fabric_cols,
+        seed=config.place_seed,
+        iters=config.place_iters,
+    )
+    context.place_report = result.report
+    context.placement = result.placement
+    context.net_delays = result.net_delays
+    obs.counter("place.moves", result.report.moves)
+    obs.counter("place.accepted", result.report.accepted)
+    context.notes.append(
+        f"placed on {result.report.fabric_rows}x{result.report.fabric_cols} "
+        f"fabric (seed {config.place_seed}): hpwl "
+        f"{result.report.initial_hpwl:.1f} -> {result.report.total_hpwl:.1f}, "
+        f"cts skew {result.report.cts_skew_ns or 0.0:.4f} ns"
+    )
+    context.artifacts["place"] = result
+
+
 @register_stage("analyze")
 def analyze_stage(context: FlowContext) -> None:
     """Run the analysis passes selected by ``config.analyses``."""
@@ -340,8 +389,14 @@ def analyze_stage(context: FlowContext) -> None:
 
 @register_analysis("timing")
 def timing_analysis(context: FlowContext):
-    """Static timing: per-net arrival times and the design delay."""
-    return compute_arrival_times(context.netlist, context.library)
+    """Static timing: per-net arrival times and the design delay.
+
+    After a place stage the context carries per-net wire delays, so the
+    reported critical path (and ``FlowResult.delay_ns``) is wire-aware.
+    """
+    return compute_arrival_times(
+        context.netlist, context.library, net_delays=context.net_delays
+    )
 
 
 @register_analysis("power")

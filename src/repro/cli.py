@@ -149,6 +149,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     if result.map_report is not None:
         print()
         print(result.map_report.render())
+    if result.place_report is not None:
+        print()
+        print(result.place_report.render())
     if args.timing:
         if result.timing is None:
             raise SystemExit("--timing needs the 'timing' analysis (see --analyses)")

@@ -44,6 +44,15 @@ class ConfigError(DesignError):
     """
 
 
+class PlaceError(DesignError):
+    """Problem during physical design: fabric too small, corrupt placement.
+
+    Derives from :class:`DesignError` so flow-boundary callers that catch
+    design-level failures (bad knobs, impossible constraints) also catch an
+    infeasible or structurally broken placement.
+    """
+
+
 class ExplorationError(ReproError):
     """Problem expanding or executing a design-space exploration sweep."""
 

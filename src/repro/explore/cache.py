@@ -28,7 +28,7 @@ from repro.explore.spec import SweepPoint
 #: v4: the ``target_lib`` / ``map_objective`` technology-mapping axes, and
 #: records embed the ``map_report`` summary).  Entries written by an older
 #: schema are treated as plain misses, never errors.
-CACHE_SCHEMA_VERSION = 4
+CACHE_SCHEMA_VERSION = 5
 
 
 class ResultCache:

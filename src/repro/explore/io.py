@@ -22,6 +22,8 @@ _METRIC_COLUMNS = (
     "cell_count",
     "fa_count",
     "ha_count",
+    "place_hpwl",
+    "cts_skew_ns",
 )
 
 #: point columns identifying each row — derived from the FlowConfig schema

@@ -131,6 +131,10 @@ def _point_label(self) -> str:
         parts.append(f"O{self.opt_level}")
     if self.target_lib != _DEFAULTS["target_lib"]:
         parts.append(f"{self.target_lib}:{self.map_objective}")
+    if self.place:
+        rows = self.fabric_rows if self.fabric_rows is not None else "auto"
+        cols = self.fabric_cols if self.fabric_cols is not None else "auto"
+        parts.append(f"place{rows}x{cols}:s{self.place_seed}:i{self.place_iters}")
     if tuple(self.analyses) != tuple(_DEFAULTS["analyses"]):
         parts.append("a:" + "+".join(self.analyses))
     return "/".join(parts)
@@ -250,7 +254,9 @@ SweepSpec = make_dataclass(
             "    ``final_adders``, ``libraries``, ``multiplication_styles``,\n"
             "    ``csd_options``, ``fold_square_options``,\n"
             "    ``multiplier_styles``, ``opt_levels``, ``target_libs``,\n"
-            "    ``map_objectives``, ``seeds``), the rest are per-sweep\n"
+            "    ``map_objectives``, ``place_options``, ``fabric_rows_values``,\n"
+            "    ``fabric_cols_values``, ``place_seeds``, ``place_iters_values``,\n"
+            "    ``seeds``), the rest are per-sweep\n"
             "    scalars (``random_probabilities``, ``analyses``,\n"
             "    ``opt_validate``, ``map_validate``).  ``expand()`` produces the\n"
             "    full product (designs outermost, seeds innermost),\n"

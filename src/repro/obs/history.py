@@ -53,7 +53,14 @@ HISTORY_ENV = "REPRO_HISTORY"
 #: QoR metrics carried per design entry: counts compare exactly, floats
 #: within the tolerance band (mirrors the golden-metric harness)
 QOR_INT_METRICS = ("cell_count", "fa_count", "ha_count")
-QOR_FLOAT_METRICS = ("delay_ns", "area", "total_energy", "tree_energy")
+QOR_FLOAT_METRICS = (
+    "delay_ns",
+    "area",
+    "total_energy",
+    "tree_energy",
+    "place_hpwl",
+    "cts_skew_ns",
+)
 QOR_METRICS = QOR_INT_METRICS + QOR_FLOAT_METRICS
 
 #: keys every history record must carry (validated on append and on check)

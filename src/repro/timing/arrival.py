@@ -72,6 +72,7 @@ def compute_arrival_times(
     input_arrivals: Optional[ArrivalMap] = None,
     default_input_arrival: float = 0.0,
     use_net_attributes: bool = True,
+    net_delays: Optional[Mapping[str, float]] = None,
 ) -> TimingResult:
     """Propagate arrival times through the netlist.
 
@@ -79,8 +80,15 @@ def compute_arrival_times(
     ``input_arrivals``, from the net's ``attributes["arrival"]`` annotation
     (written by the matrix builder) when ``use_net_attributes`` is set, and
     finally from ``default_input_arrival``.  Constant nets arrive at time 0.
+
+    ``net_delays`` adds a per-net interconnect delay (keyed by net name, in
+    ns) on top of the driving arrival — the lumped wire model the placement
+    subsystem produces (:func:`repro.place.wires.wire_delays`), making the
+    sweep wire-aware.  Unlisted nets fly at zero wire delay, so the default
+    (``None``) reproduces the classic pre-place view exactly.
     """
     explicit = _normalize_input_arrivals(netlist, input_arrivals)
+    wire = net_delays or {}
     arrivals: Dict[str, float] = {}
 
     for net in netlist.nets.values():
@@ -93,6 +101,7 @@ def compute_arrival_times(
                 arrivals[net.name] = float(net.attributes["arrival"])  # type: ignore[arg-type]
             else:
                 arrivals[net.name] = default_input_arrival
+            arrivals[net.name] += wire.get(net.name, 0.0)
 
     for cell in netlist.topological_cells():
         for out_port in cell_output_ports(cell.cell_type):
@@ -104,7 +113,8 @@ def compute_arrival_times(
                     worst,
                     in_arrival + library.delay(cell.cell_type, in_port, out_port),
                 )
-            arrivals[cell.outputs[out_port].name] = worst
+            out_name = cell.outputs[out_port].name
+            arrivals[out_name] = worst + wire.get(out_name, 0.0)
 
     worst_net = None
     worst_arrival = 0.0

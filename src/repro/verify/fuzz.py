@@ -65,14 +65,20 @@ def default_domain() -> Domain:
     """The full sampling domain, derived from the config schema.
 
     Fields with declared choices sample uniformly from them, booleans from
-    ``(False, True)``, and choice-free integer fields (the flow ``seed``)
-    are drawn from the rng.  :data:`_PINNED_FIELDS` are excluded.
+    ``(False, True)``, and choice-free integer fields (the flow ``seed``,
+    ``place_seed``) are drawn from the rng.  A field may pin its own
+    domain through the schema's ``fuzz`` metadata — the fabric dimensions
+    fuzz at ``None`` (auto-size) because a random site count is either
+    invalid or absurdly large, and ``place_iters`` fuzzes at small move
+    budgets to keep cases cheap.  :data:`_PINNED_FIELDS` are excluded.
     """
     domain: Domain = {}
     for spec in config_fields():
         if spec.name in _PINNED_FIELDS:
             continue
-        if spec.choices is not None:
+        if spec.fuzz is not None:
+            domain[spec.name] = tuple(spec.fuzz)
+        elif spec.choices is not None:
             domain[spec.name] = tuple(spec.choices)
         elif spec.kind == "bool":
             domain[spec.name] = (False, True)
@@ -323,6 +329,11 @@ def add_domain_options(parser: argparse.ArgumentParser) -> None:
                 help=f"fuzz domain: {spec.help}",
             )
         else:
+            default_text = (
+                f"default: {spec.fuzz}"
+                if spec.fuzz is not None
+                else "default: drawn from the fuzzer rng"
+            )
             parser.add_argument(
                 flag,
                 dest=dest,
@@ -330,7 +341,7 @@ def add_domain_options(parser: argparse.ArgumentParser) -> None:
                 type=int,
                 default=None,
                 metavar=spec.name.upper(),
-                help=f"fuzz domain: {spec.help} (default: drawn from the fuzzer rng)",
+                help=f"fuzz domain: {spec.help} ({default_text})",
             )
 
 

@@ -70,14 +70,23 @@ GOLDEN_METHODS = ("conventional", "csa_opt", "fa_aot")
 _EXACT_METRICS = ("cell_count", "fa_count", "ha_count")
 
 #: metrics compared within the tolerance band
-_FLOAT_METRICS = ("delay_ns", "area", "total_energy", "tree_energy")
+_FLOAT_METRICS = (
+    "delay_ns",
+    "area",
+    "total_energy",
+    "tree_energy",
+    "place_hpwl",
+    "cts_skew_ns",
+)
 
 
 def golden_points() -> List["SweepPoint"]:
     """The fixed configuration set pinned by the snapshot.
 
     Per design: the Table 1 method trio as built, plus ``fa_aot`` at
-    ``-O2`` so optimizer regressions show up in the metrics as well.
+    ``-O2`` so optimizer regressions show up in the metrics as well, plus
+    ``fa_aot`` placed on the auto-sized fabric so placement QoR (HPWL,
+    wire-aware delay, CTS skew) is pinned too.
     """
     points: List[SweepPoint] = []
     for design in GOLDEN_DESIGNS:
@@ -85,6 +94,9 @@ def golden_points() -> List["SweepPoint"]:
             points.append(SweepPoint.from_config(design, FlowConfig(method=method)))
         points.append(
             SweepPoint.from_config(design, FlowConfig(method="fa_aot", opt_level=2))
+        )
+        points.append(
+            SweepPoint.from_config(design, FlowConfig(method="fa_aot", place=True))
         )
     return points
 

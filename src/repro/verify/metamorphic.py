@@ -24,6 +24,11 @@ configurations and asserts the invariant linking their outcomes:
     library and *every* mapping objective, the mapped netlist computes the
     same outputs as the unmapped (``target_lib="generic"``) run, and
     contains only cells of the target basis.
+``place_preserves_function``
+    Placement never changes the function: the ``place=True`` run's netlist
+    is structurally identical to the ``place=False`` run's, simulates
+    identically on shared stimulus, and its placement validates with zero
+    findings.
 
 Properties are registered in :data:`METAMORPHIC_PROPERTIES` (open for
 extension, mirroring the flow's analysis registry) and fan out over the
@@ -242,6 +247,41 @@ def _check_map_equivalent(
                 )
             cells_by_target[f"{target}/{objective}"] = mapped.cell_count
     return {"vectors": len(vectors), "cells": cells_by_target}
+
+
+@metamorphic_property("place_preserves_function")
+def _check_place_preserves_function(
+    design: DatapathDesign, config: FlowConfig
+) -> Dict[str, object]:
+    unplaced = Flow(_quiet(config, place=False)).run(design)
+    placed = Flow(_quiet(config, place=True)).run(design)
+    report = placed.place_report
+    if report is None:
+        raise VerificationError("place=True run produced no placement report")
+    if report.validation_findings:
+        raise VerificationError(
+            f"placement validator reported {report.validation_findings} finding(s)"
+        )
+    # placement must never touch connectivity: the netlists are structurally
+    # identical, so simulation equality below can only fail if the placer
+    # corrupted the flow context rather than the wires
+    if netlist_to_dict(placed.netlist) != netlist_to_dict(unplaced.netlist):
+        raise VerificationError(
+            "placement changed the netlist structure (cells/nets differ)"
+        )
+    vectors = _shared_vectors(design)
+    left, right = _outputs(unplaced, vectors), _outputs(placed, vectors)
+    if left != right:
+        raise VerificationError(
+            f"placed netlist differs from unplaced; first mismatch: "
+            f"{_first_diff(left, right, vectors)}"
+        )
+    return {
+        "vectors": len(vectors),
+        "cells": placed.cell_count,
+        "hpwl": report.total_hpwl,
+        "cts_skew_ns": report.cts_skew_ns,
+    }
 
 
 #: the properties shipped with this module — guaranteed present in pool

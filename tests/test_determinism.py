@@ -96,3 +96,49 @@ class TestFuzzerDeterminism:
         a = Flow(config).run("x2")
         b = Flow(config).run("x2")
         assert a.total_energy == b.total_energy
+
+
+class TestPlacementDeterminism:
+    def test_same_seed_byte_identical_placement_and_report(self):
+        import json
+
+        config = FlowConfig(analyses=("stats",), place=True)
+        a = Flow(config).run("x2")
+        b = Flow(config).run("x2")
+        place_a = a.stage_artifacts["place"]
+        place_b = b.stage_artifacts["place"]
+        dump = lambda obj: json.dumps(obj, sort_keys=True)
+        assert dump(place_a.placement.to_dict()) == dump(place_b.placement.to_dict())
+        assert dump(a.place_report.to_dict()) == dump(b.place_report.to_dict())
+        assert place_a.net_delays == place_b.net_delays
+
+    def test_different_place_seed_different_placement(self):
+        base = FlowConfig(analyses=("stats",), place=True)
+        a = Flow(base).run("x2")
+        from dataclasses import replace
+
+        b = Flow(replace(base, place_seed=2)).run("x2")
+        assert (
+            a.stage_artifacts["place"].placement.to_dict()
+            != b.stage_artifacts["place"].placement.to_dict()
+        )
+
+    def test_parallel_sweep_matches_serial(self):
+        import json
+
+        from repro.explore.engine import run_sweep
+        from repro.explore.spec import SweepSpec
+
+        spec = SweepSpec(
+            designs=("x2", "x2_plus_x_plus_y"),
+            methods=("fa_aot",),
+            place_options=(True,),
+            analyses=("stats",),
+        )
+        points = spec.expand()
+        serial = run_sweep(points, jobs=1)
+        parallel = run_sweep(points, jobs=2)
+        dump = lambda sweep: json.dumps(
+            [outcome.metrics for outcome in sweep.outcomes], sort_keys=True
+        )
+        assert dump(serial) == dump(parallel)

@@ -216,3 +216,64 @@ class TestUnknownCellTypes:
             evaluate_cell(CellType.AOI22, {"a": 1, "b": 0, "c": 1})
         with pytest.raises(NetlistError, match="non-binary"):
             evaluate_cell(CellType.MAJ3, {"a": 2, "b": 0, "c": 1})
+
+
+class TestPlacementErrorPaths:
+    def _netlist(self):
+        from repro.api.config import FlowConfig
+        from repro.api.flow import Flow
+
+        return Flow(FlowConfig(analyses=("stats",))).run("x2").netlist
+
+    def test_too_small_fabric_raises_place_error(self):
+        from repro.errors import DesignError, PlaceError
+        from repro.place import FabricGrid, greedy_initial_placement
+
+        netlist = self._netlist()
+        with pytest.raises(PlaceError, match="too small"):
+            greedy_initial_placement(netlist, FabricGrid(rows=3, cols=4))
+        assert issubclass(PlaceError, DesignError)
+
+    def test_flow_surfaces_too_small_fabric(self):
+        from repro.api.config import FlowConfig
+        from repro.api.flow import Flow
+        from repro.errors import PlaceError
+
+        config = FlowConfig(place=True, fabric_rows=2, fabric_cols=5)
+        with pytest.raises(PlaceError, match="too small"):
+            Flow(config).run("x2")
+
+    def test_degenerate_place_knobs_rejected_at_construction(self):
+        with pytest.raises(ConfigError, match="fabric_rows"):
+            FlowConfig(fabric_rows=0)
+        with pytest.raises(ConfigError, match="fabric_cols"):
+            FlowConfig(fabric_cols=-2)
+        with pytest.raises(ConfigError, match="place_iters"):
+            FlowConfig(place_iters=-5)
+
+    def test_hand_corrupted_placements_are_rejected(self):
+        from repro.errors import PlaceError
+        from repro.place import (
+            Placement,
+            auto_size,
+            check_placement,
+            greedy_initial_placement,
+            validate_placement,
+        )
+
+        netlist = self._netlist()
+        good = greedy_initial_placement(netlist, auto_size(netlist))
+        assert validate_placement(netlist, good) == []
+
+        victims = sorted(good.origins)[:2]
+        overlap = dict(good.origins)
+        overlap[victims[1]] = overlap[victims[0]]
+        unplaced = dict(good.origins)
+        del unplaced[victims[0]]
+        out_of_bounds = dict(good.origins)
+        out_of_bounds[victims[0]] = (good.fabric.rows + 1, good.fabric.cols + 1)
+        for origins in (overlap, unplaced, out_of_bounds):
+            broken = Placement(fabric=good.fabric, origins=origins)
+            assert validate_placement(netlist, broken) != []
+            with pytest.raises(PlaceError, match="finding"):
+                check_placement(netlist, broken)
