@@ -64,6 +64,7 @@ class TechnologyMappingPass(RewritePass):
     name = "tech-map"
 
     def __init__(self, library: TechLibrary, objective: str = "balanced") -> None:
+        super().__init__()
         if objective not in MAP_OBJECTIVES:
             raise MappingError(
                 f"unknown map objective {objective!r}; "
@@ -78,6 +79,13 @@ class TechnologyMappingPass(RewritePass):
         #: and areas depend only on (cell type, library), so they are
         #: computed once here instead of once per covered cell
         self._candidate_cache: Dict[object, List[Tuple[MapTemplate, float]]] = {}
+        #: (cell type, per-port input-arrival tuple) -> (winner, out arrivals);
+        #: scoring is a pure function of that key for a fixed library and
+        #: objective, and compressor trees present the same few arrival
+        #: profiles over and over, so most covers are cache hits
+        self._score_cache: Dict[
+            Tuple, Tuple[MapTemplate, Dict[str, float]]
+        ] = {}
 
     # ------------------------------------------------------------- selection
 
@@ -144,6 +152,7 @@ class TechnologyMappingPass(RewritePass):
 
     def _cover(self, netlist: Netlist) -> int:
         changed = 0
+        self.touched_nets = set()
         # per-net arrival estimates accumulated along the sweep; only the
         # nets downstream cells can read need an entry (replacement nets,
         # kept-cell outputs) — template-internal nets and retired
@@ -164,14 +173,24 @@ class TechnologyMappingPass(RewritePass):
                         for port in in_ports
                     )
                 continue
-            candidates = self._candidates(cell.cell_type)
-            template, out_arrivals = self._choose(candidates, input_arrivals)
-            obs.counter("map.candidates_evaluated", len(candidates))
+            score_key = (
+                cell.cell_type,
+                tuple(input_arrivals[port] for port in in_ports),
+            )
+            cached = self._score_cache.get(score_key)
+            if cached is None:
+                candidates = self._candidates(cell.cell_type)
+                cached = self._choose(candidates, input_arrivals)
+                self._score_cache[score_key] = cached
+                obs.counter("map.candidates_evaluated", len(candidates))
+            else:
+                obs.counter("map.score_cache_hits")
+            template, out_arrivals = cached
             obs.counter("map.cells_covered")
             replacements = materialize_template(netlist, template, cell)
             for port, net in replacements.items():
                 arrivals[net.name] = out_arrivals[port]
-            retire_cell(netlist, cell, replacements)
+            self.touched_nets |= retire_cell(netlist, cell, replacements)
             self.template_counts[template.name] = (
                 self.template_counts.get(template.name, 0) + 1
             )

@@ -143,6 +143,31 @@ class Netlist:
         self._cell_counter = 0
         self._const_nets: Dict[int, Net] = {}
         self._output_names: set = set()
+        self._generation = 0
+        self._topo_cache: Optional[List[Cell]] = None
+        self._topo_index_cache: Optional[Dict[str, int]] = None
+        self._topo_generation = -1
+
+    # ----------------------------------------------------------- invalidation
+    @property
+    def generation(self) -> int:
+        """Monotonic structural-mutation counter.
+
+        Every mutation through the public API (``add_net`` / ``add_cell`` /
+        ``remove_cell`` / ``replace_net_uses`` / ``rebind_input`` / ...)
+        bumps this counter.  Derived structures — the cached topological
+        order below, compiled simulation programs
+        (:mod:`repro.sim.program`), incremental analysis state — record the
+        generation they were built against and treat any mismatch as
+        stale, so cache invalidation is structural rather than a calling
+        convention.
+        """
+        return self._generation
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+        self._topo_cache = None
+        self._topo_index_cache = None
 
     # ------------------------------------------------------------------ views
     @property
@@ -193,6 +218,7 @@ class Netlist:
             raise NetlistError(f"net name {name!r} already exists in netlist {self.name!r}")
         net = Net(name)
         self._nets[name] = net
+        self._bump_generation()
         return net
 
     def add_input(self, name: str) -> Net:
@@ -248,40 +274,42 @@ class Netlist:
         after its original driver has been removed.
         """
         expected = cell_input_ports(cell_type)
-        missing = [p for p in expected if p not in inputs]
-        extra = [p for p in inputs if p not in expected]
-        if missing or extra:
+        nets = self._nets
+        if len(inputs) != len(expected) or any(p not in inputs for p in expected):
+            missing = [p for p in expected if p not in inputs]
+            extra = [p for p in inputs if p not in expected]
             raise NetlistError(
                 f"bad port binding for {cell_type}: missing={missing}, unexpected={extra}"
             )
         for port, net in inputs.items():
-            if self._nets.get(net.name) is not net:
+            if nets.get(net.name) is not net:
                 raise NetlistError(
                     f"net {net.name!r} bound to port {port!r} does not belong to "
                     f"netlist {self.name!r}"
                 )
-        bound_outputs = dict(outputs or {})
-        if len({id(net) for net in bound_outputs.values()}) != len(bound_outputs):
-            raise NetlistError(
-                f"the same net is bound to multiple output ports of {cell_type}"
-            )
-        for port, net in bound_outputs.items():
-            if port not in cell_output_ports(cell_type):
-                raise NetlistError(f"{cell_type} has no output port {port!r}")
-            if self._nets.get(net.name) is not net:
+        bound_outputs = dict(outputs) if outputs else {}
+        if bound_outputs:
+            if len({id(net) for net in bound_outputs.values()}) != len(bound_outputs):
                 raise NetlistError(
-                    f"net {net.name!r} bound to output {port!r} does not belong to "
-                    f"netlist {self.name!r}"
+                    f"the same net is bound to multiple output ports of {cell_type}"
                 )
-            if net.driver is not None:
-                raise NetlistError(
-                    f"net {net.name!r} is already driven by {net.driver[0].name!r}"
-                )
-            if net.is_primary_input or net.is_constant:
-                raise NetlistError(
-                    f"net {net.name!r} is a primary input/constant and cannot be "
-                    f"a cell output"
-                )
+            for port, net in bound_outputs.items():
+                if port not in cell_output_ports(cell_type):
+                    raise NetlistError(f"{cell_type} has no output port {port!r}")
+                if nets.get(net.name) is not net:
+                    raise NetlistError(
+                        f"net {net.name!r} bound to output {port!r} does not belong "
+                        f"to netlist {self.name!r}"
+                    )
+                if net.driver is not None:
+                    raise NetlistError(
+                        f"net {net.name!r} is already driven by {net.driver[0].name!r}"
+                    )
+                if net.is_primary_input or net.is_constant:
+                    raise NetlistError(
+                        f"net {net.name!r} is a primary input/constant and cannot be "
+                        f"a cell output"
+                    )
 
         if name is None:
             name = self._unique_cell_name(f"{cell_type.value.lower()}_")
@@ -289,16 +317,23 @@ class Netlist:
             raise NetlistError(f"cell name {name!r} already exists in netlist {self.name!r}")
 
         prefix = output_prefix or f"{name}_"
-        all_outputs = {
-            port: bound_outputs.get(port) or self.add_net(prefix=f"{prefix}{port}_")
-            for port in cell_output_ports(cell_type)
-        }
+        if bound_outputs:
+            all_outputs = {
+                port: bound_outputs.get(port) or self.add_net(prefix=f"{prefix}{port}_")
+                for port in cell_output_ports(cell_type)
+            }
+        else:
+            all_outputs = {
+                port: self.add_net(prefix=f"{prefix}{port}_")
+                for port in cell_output_ports(cell_type)
+            }
         cell = Cell(name, cell_type, inputs, all_outputs)
         self._cells[name] = cell
         for port, net in inputs.items():
             net.loads.append((cell, port))
         for port, net in all_outputs.items():
             net.driver = (cell, port)
+        self._bump_generation()
         return cell
 
     # ------------------------------------------------------------- mutation
@@ -319,6 +354,7 @@ class Netlist:
         if net.is_primary_input or net.is_constant or net.name in self._output_names:
             raise NetlistError(f"cannot remove primary/constant net {net.name!r}")
         del self._nets[net.name]
+        self._bump_generation()
 
     def remove_cell(self, cell: Cell, keep_output_nets: bool = False) -> None:
         """Delete a cell whose outputs are no longer read.
@@ -343,6 +379,7 @@ class Netlist:
             net.driver = None
             output_names.add(net.name)
         del self._cells[cell.name]
+        self._bump_generation()
         if not keep_output_nets:
             for name in output_names:
                 net = self._nets.get(name)
@@ -369,7 +406,31 @@ class Netlist:
             new.loads.append((cell, port))
             moved += 1
         old.loads = []
+        if moved:
+            self._bump_generation()
         return moved
+
+    def rebind_input(self, cell: Cell, port: str, new: Net) -> Net:
+        """Rewire one input port of ``cell`` to read ``new`` instead.
+
+        Returns the previously bound net.  This is the single-port
+        counterpart of :meth:`replace_net_uses`, used by passes that
+        retarget one reader without touching the rest of a net's fanout.
+        """
+        if self._cells.get(cell.name) is not cell:
+            raise NetlistError(f"cell {cell.name!r} does not belong to netlist {self.name!r}")
+        if self._nets.get(new.name) is not new:
+            raise NetlistError(f"net {new.name!r} does not belong to netlist {self.name!r}")
+        if port not in cell.inputs:
+            raise NetlistError(f"cell {cell.name!r} has no input port {port!r}")
+        old = cell.inputs[port]
+        if old is new:
+            return old
+        old.loads = [entry for entry in old.loads if entry != (cell, port)]
+        cell.inputs[port] = new
+        new.loads.append((cell, port))
+        self._bump_generation()
+        return old
 
     def is_primary_output(self, net: Net) -> bool:
         """True when ``net`` is registered as a primary output (O(1))."""
@@ -393,6 +454,7 @@ class Netlist:
             and net.name not in self._output_names
         ):
             del self._nets[net.name]
+            self._bump_generation()
             return True
         return False
 
@@ -403,6 +465,7 @@ class Netlist:
             raise NetlistError(f"net {net.name!r} does not belong to netlist {self.name!r}")
         if net not in self._outputs:
             self._outputs.append(net)
+            self._bump_generation()
         self._output_names.add(net.name)
 
     def set_output_bus(self, bus: Bus, name: Optional[str] = None) -> Bus:
@@ -418,9 +481,37 @@ class Netlist:
     def topological_cells(self) -> List[Cell]:
         """Cells in topological (fanin-before-fanout) order.
 
+        The order is computed once and cached until the next structural
+        mutation (see :attr:`generation`), so analysis engines that sweep an
+        unchanged netlist repeatedly — the packed simulator replaying
+        chunks, per-pass re-analysis at a fixpoint, timing/power/stats in
+        one flow — pay for exactly one sort.  The returned list is the
+        cache itself: treat it as read-only (it is safe to keep iterating a
+        reference across mutations; the snapshot simply goes stale, exactly
+        as the previous recompute-per-call behaviour did).
+
         Raises :class:`NetlistError` if the netlist contains a combinational
         cycle.
         """
+        if self._topo_cache is not None and self._topo_generation == self._generation:
+            return self._topo_cache
+        order = self._topological_sort()
+        self._topo_cache = order
+        self._topo_generation = self._generation
+        return order
+
+    def topological_index(self) -> Dict[str, int]:
+        """Cell name to position in :meth:`topological_cells` (cached)."""
+        if (
+            self._topo_index_cache is not None
+            and self._topo_generation == self._generation
+        ):
+            return self._topo_index_cache
+        index = {cell.name: i for i, cell in enumerate(self.topological_cells())}
+        self._topo_index_cache = index
+        return index
+
+    def _topological_sort(self) -> List[Cell]:
         indegree: Dict[str, int] = {}
         dependents: Dict[str, List[str]] = {name: [] for name in self._cells}
         for name, cell in self._cells.items():
@@ -471,16 +562,52 @@ class Netlist:
         return netlist_to_dict(self)
 
     def copy(self, name: Optional[str] = None) -> "Netlist":
-        """Deep structural copy via the dict round-trip.
+        """Deep structural copy.
 
         The optimizer snapshots the pre-optimization netlist this way so the
-        original graph stays available for equivalence checking.
+        original graph stays available for equivalence checking; the copy is
+        built by direct object construction (same names, same creation
+        order, same attributes as the serialization round-trip produces, but
+        without paying for per-cell port validation on a graph that is
+        already known valid).
         """
-        from repro.netlist.serialize import netlist_from_dict
-
-        duplicate = netlist_from_dict(self.to_dict())
-        if name is not None:
-            duplicate.name = name
+        duplicate = Netlist(self.name if name is None else name)
+        nets = duplicate._nets
+        for net in self._nets.values():
+            twin = Net(net.name)
+            twin.is_primary_input = net.is_primary_input
+            twin.const_value = net.const_value
+            if net.attributes:
+                twin.attributes = dict(net.attributes)
+            nets[net.name] = twin
+        for value, net in self._const_nets.items():
+            duplicate._const_nets[value] = nets[net.name]
+        duplicate._inputs = [nets[net.name] for net in self._inputs]
+        for cell in self._cells.values():
+            twin_cell = Cell(
+                cell.name,
+                cell.cell_type,
+                {port: nets[net.name] for port, net in cell.inputs.items()},
+                {port: nets[net.name] for port, net in cell.outputs.items()},
+            )
+            if cell.attributes:
+                twin_cell.attributes = dict(cell.attributes)
+            duplicate._cells[cell.name] = twin_cell
+            for port, net in twin_cell.inputs.items():
+                net.loads.append((twin_cell, port))
+            for port, net in twin_cell.outputs.items():
+                net.driver = (twin_cell, port)
+        duplicate._outputs = [nets[net.name] for net in self._outputs]
+        duplicate._output_names = set(self._output_names)
+        for bus_name, bus in self.input_buses.items():
+            duplicate.input_buses[bus_name] = Bus(
+                bus_name, [nets[net.name] for net in bus.nets]
+            )
+        for bus_name, bus in self.output_buses.items():
+            duplicate.output_buses[bus_name] = Bus(
+                bus_name, [nets[net.name] for net in bus.nets]
+            )
+        duplicate._bump_generation()
         return duplicate
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

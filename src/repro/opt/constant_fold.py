@@ -42,6 +42,7 @@ class ConstantFoldPass(RewritePass):
 
     def run(self, netlist: Netlist) -> int:
         changed = 0
+        self.touched_nets = set()
         for cell in netlist.topological_cells():
             if cell.cell_type in (CellType.FA, CellType.HA):
                 continue
@@ -61,6 +62,6 @@ class ConstantFoldPass(RewritePass):
             if spec is None:
                 continue
             replacement = materialize(netlist, spec, free)
-            retire_cell(netlist, cell, {"y": replacement})
+            self.touched_nets |= retire_cell(netlist, cell, {"y": replacement})
             changed += 1
         return changed

@@ -2,11 +2,12 @@
 
 Unlike :mod:`repro.sim.equivalence` (netlist vs. word-level expression),
 this checker compares two *netlists* bit-for-bit on every primary output —
-the contract every optimization pass must preserve.  Both netlists are
-evaluated with the bit-parallel :func:`repro.sim.evaluator.evaluate_packed`
-engine, and the input stimulus is built directly in packed form (exhaustive
-patterns are periodic bit masks, random ones a ``getrandbits`` word per
-input) so no per-vector dicts are ever materialized.  Up to
+the contract every optimization pass must preserve.  Each netlist is
+compiled once into a :class:`repro.sim.program.SimProgram` and the program
+is replayed for every chunk, with the input stimulus built directly in
+packed form (exhaustive patterns are periodic bit masks, random ones a
+``getrandbits`` word per input) so no per-vector dicts — and no per-chunk
+topological re-sorts — are ever materialized.  Up to
 ``exhaustive_width_limit`` primary-input bits the check tries every input
 combination, above it a seeded random sample is used.  Vectors are
 processed in power-of-two chunks so exhaustive checks of ~20 input bits
@@ -21,7 +22,7 @@ from typing import Dict, List
 
 from repro.errors import OptimizationError
 from repro.netlist.core import Netlist
-from repro.sim.evaluator import evaluate_packed
+from repro.sim.program import cached_program
 
 
 @dataclass
@@ -116,6 +117,12 @@ def check_netlists_equivalent(
     chunk_size = 1 << (max(1, chunk_size).bit_length() - 1)
     rng = random.Random(seed)
 
+    # compile both netlists once; every chunk below is a straight replay
+    ref_program = cached_program(reference)
+    cand_program = cached_program(candidate)
+    ref_po_slots = [ref_program.slot_of[po] for po in ref_pos]
+    cand_po_slots = [cand_program.slot_of[po] for po in ref_pos]
+
     mismatches: List[Dict[str, object]] = []
     checked = 0
     for start in range(0, total, chunk_size):
@@ -124,15 +131,17 @@ def check_netlists_equivalent(
             words = _packed_exhaustive_chunk(ref_pis, start, count)
         else:
             words = {name: rng.getrandbits(count) for name in ref_pis}
-        ref_values = evaluate_packed(reference, words, count)
-        cand_values = evaluate_packed(candidate, words, count)
+        mask = (1 << count) - 1
+        ref_slots = ref_program.run_packed(words, mask)
+        cand_slots = cand_program.run_packed(words, mask)
         checked += count
-        for po in ref_pos:
-            difference = ref_values.values[po] ^ cand_values.values[po]
+        for po, ref_slot, cand_slot in zip(ref_pos, ref_po_slots, cand_po_slots):
+            ref_word = ref_slots[ref_slot]
+            difference = ref_word ^ cand_slots[cand_slot]
             while difference and len(mismatches) < max_mismatches:
                 index = (difference & -difference).bit_length() - 1
                 difference &= difference - 1
-                expected = (ref_values.values[po] >> index) & 1
+                expected = (ref_word >> index) & 1
                 mismatches.append(
                     {
                         "net": po,

@@ -7,6 +7,7 @@ from repro.sim.evaluator import (
     evaluate_vectors,
     set_bus_value,
 )
+from repro.sim.program import SimProgram, cached_program, compile_netlist_program
 from repro.sim.vectors import exhaustive_vectors, random_vectors
 from repro.sim.equivalence import EquivalenceReport, check_equivalence
 from repro.sim.toggles import empirical_switching
@@ -17,6 +18,9 @@ __all__ = [
     "evaluate_netlist",
     "evaluate_vectors",
     "set_bus_value",
+    "SimProgram",
+    "cached_program",
+    "compile_netlist_program",
     "exhaustive_vectors",
     "random_vectors",
     "EquivalenceReport",

@@ -25,9 +25,18 @@ ValueMap = Dict[str, int]
 
 
 def set_bus_value(values: ValueMap, bus: Bus, value: int) -> None:
-    """Assign an unsigned integer to a bus, writing one bit value per net."""
+    """Assign an unsigned integer to a bus, writing one bit value per net.
+
+    Negative values wrap modulo the bus width (two's complement); a
+    non-negative value that does not fit in the bus raises
+    :class:`SimulationError` rather than silently dropping high bits.
+    """
     if value < 0:
         value %= 1 << bus.width
+    if value >> bus.width:
+        raise SimulationError(
+            f"value {value} does not fit in {bus.width}-bit bus {bus.name!r}"
+        )
     for index, net in enumerate(bus.nets):
         values[net.name] = (value >> index) & 1
 
@@ -213,11 +222,17 @@ def evaluate_vectors(
         byte_index, byte_bit = k >> 3, 1 << (k & 7)
         for name, value in vector.items():
             if name in netlist.input_buses:
+                bus = netlist.input_buses[name]
                 if not isinstance(value, int):
                     raise SimulationError(f"bus {name!r} expects an integer value")
                 if value < 0:
-                    value %= 1 << netlist.input_buses[name].width
-                for index, net in enumerate(netlist.input_buses[name].nets):
+                    value %= 1 << bus.width
+                if value >> bus.width:
+                    raise SimulationError(
+                        f"value {value} does not fit in {bus.width}-bit "
+                        f"bus {name!r}"
+                    )
+                for index, net in enumerate(bus.nets):
                     _slot(net.name)[byte_index] |= byte_bit
                     if (value >> index) & 1:
                         input_bits[net.name][byte_index] |= byte_bit
@@ -254,24 +269,12 @@ def evaluate_vectors(
 def _evaluate_packed_values(
     netlist: Netlist, values: Dict[str, int], mask: int, count: int
 ) -> BatchValues:
-    """Shared bit-parallel cell sweep over already-packed input words."""
-    for net in netlist.nets.values():
-        if net.is_constant:
-            values[net.name] = mask if int(net.const_value or 0) else 0
+    """Shared bit-parallel sweep: replay the netlist's compiled program."""
+    from repro.sim.program import cached_program
 
-    for cell in netlist.topological_cells():
-        cell_inputs: Dict[str, int] = {}
-        for port, net in cell.inputs.items():
-            if net.name not in values:
-                raise SimulationError(
-                    f"net {net.name!r} used by {cell.name!r} has no value"
-                )
-            cell_inputs[port] = values[net.name]
-        for port, packed in _evaluate_cell_packed(
-            cell.cell_type, cell_inputs, mask
-        ).items():
-            values[cell.outputs[port].name] = packed
-    return BatchValues(values=values, count=count)
+    program = cached_program(netlist)
+    slots = program.run_packed(values, mask)
+    return BatchValues(values=program.values_dict(slots), count=count)
 
 
 def evaluate_packed(

@@ -60,8 +60,6 @@ class BrokenDropCarryPass(RewritePass):
                 continue
             if zero is None:
                 zero = netlist.const(0)
-            cin.loads.remove((cell, "cin"))
-            cell.inputs["cin"] = zero
-            zero.loads.append((cell, "cin"))
+            netlist.rebind_input(cell, "cin", zero)
             return 1
         return 0

@@ -128,3 +128,43 @@ class TestOutputRebinding:
         assert a.fanout == 1
         assert g.outputs["y"].fanout == 1
         assert n.outputs["y"].fanout == 0
+
+
+class TestRebindInput:
+    def test_rewires_one_reader(self):
+        netlist, a, b, g, n = _and_pair()
+        old = netlist.rebind_input(n, "a", b)
+        assert old is g.outputs["y"]
+        assert n.inputs["a"] is b
+        assert (n, "a") in b.loads
+        assert (n, "a") not in g.outputs["y"].loads
+        validate_netlist(netlist)
+
+    def test_rebind_to_same_net_is_noop(self):
+        netlist, a, b, g, n = _and_pair()
+        before = netlist.generation
+        assert netlist.rebind_input(g, "a", a) is a
+        assert netlist.generation == before  # no structural change, no bump
+
+    def test_only_the_named_port_moves(self):
+        netlist = Netlist("two_ports")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        g = netlist.add_cell(CellType.AND2, {"a": a, "b": a}, name="g")
+        netlist.rebind_input(g, "a", b)
+        assert g.inputs["a"] is b
+        assert g.inputs["b"] is a
+        assert (g, "b") in a.loads and (g, "a") not in a.loads
+        validate_netlist(netlist)
+
+    def test_rejects_foreign_cell_net_and_unknown_port(self):
+        netlist, a, b, g, n = _and_pair()
+        other = Netlist("other")
+        foreign_in = other.add_input("x")
+        foreign_cell = other.add_cell(CellType.NOT, {"a": foreign_in})
+        with pytest.raises(NetlistError):
+            netlist.rebind_input(foreign_cell, "a", a)
+        with pytest.raises(NetlistError):
+            netlist.rebind_input(g, "a", foreign_in)
+        with pytest.raises(NetlistError):
+            netlist.rebind_input(g, "bogus", a)

@@ -87,6 +87,28 @@ class TestEvaluateVectors:
         with pytest.raises(SimulationError):
             batch.net_values("no_such_net")
 
+    def test_oversized_bus_value_rejected(self):
+        # regression: values wider than the bus used to be silently
+        # truncated during packing, simulating a different stimulus than
+        # the caller asked for
+        design = get_design("x2")
+        result = synthesize(design, method="fa_aot")
+        width = result.netlist.input_buses["x"].width
+        with pytest.raises(SimulationError, match="does not fit"):
+            evaluate_vectors(result.netlist, [{"x": 1 << width}])
+        with pytest.raises(SimulationError, match="does not fit"):
+            evaluate_netlist(result.netlist, {"x": 1 << width})
+
+    def test_negative_bus_value_wraps_not_rejected(self):
+        design = get_design("x2")
+        result = synthesize(design, method="fa_aot")
+        width = result.netlist.input_buses["x"].width
+        batch = evaluate_vectors(result.netlist, [{"x": -1}])
+        reference = evaluate_netlist(result.netlist, {"x": (1 << width) - 1})
+        assert batch.bus_values(result.output_bus) == [
+            bus_value(reference, result.output_bus)
+        ]
+
     def test_faster_than_per_vector_at_64(self):
         # the acceptance bar: measurably faster at >= 64 vectors; use a
         # conservative 2x margin so the test is robust on loaded machines

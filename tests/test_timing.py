@@ -73,6 +73,27 @@ class TestArrivalPropagation:
         with pytest.raises(NetlistError):
             timing.arrival_of("missing_net")
 
+    def test_negative_input_arrivals_propagate(self, unit_lib):
+        # regression: the worst-arc fold used to start at 0.0, silently
+        # clamping early-mode (negative) arrivals to zero at the first gate
+        netlist, out = _chain_netlist()
+        timing = compute_arrival_times(netlist, unit_lib, default_input_arrival=-5.0)
+        assert timing.arrival_of(out) == pytest.approx(-2.0)
+        mixed = compute_arrival_times(
+            netlist, unit_lib, input_arrivals={"a": -4.0, "b": -4.0, "c": -4.0}
+        )
+        assert mixed.arrival_of(out) == pytest.approx(-1.0)
+
+    def test_floating_cell_input_raises_naming_net_and_cell(self, unit_lib):
+        # regression: a cell input with no arrival source used to default to
+        # time 0.0 via arrivals.get(..., 0.0), masking a broken netlist
+        netlist = Netlist("floating")
+        a = netlist.add_input("a")
+        loose = netlist.add_net("loose")
+        netlist.add_cell(CellType.AND2, {"a": a, "b": loose}, name="reader")
+        with pytest.raises(NetlistError, match=r"'loose'.*'reader'.*undriven"):
+            compute_arrival_times(netlist, unit_lib)
+
 
 class TestAllocationModelAgreement:
     def test_sta_matches_allocation_arrivals_for_fa_tree(self, unit_lib):
