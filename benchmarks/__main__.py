@@ -37,6 +37,11 @@ Observability extensions:
     summaries when ``--trace-dir`` is on), so ``repro-datapath obs check``
     gates benchmark drift with the same host-normalized sentinel as flow
     runs.
+``--events DIR``
+    Stream live telemetry (``repro.obs.events`` schema) to
+    ``DIR/events.jsonl``: one ``point_start``/``point_end`` pair per
+    benchmark plus periodic ``resource`` gauges, so a long benchmark run
+    can be followed with ``repro-datapath obs tail -f``.
 """
 
 from __future__ import annotations
@@ -163,6 +168,16 @@ def check_against_baseline(
     return problems
 
 
+def _import_obs():
+    """Import :mod:`repro.obs`, adding ``src`` to the path if needed."""
+    try:
+        from repro import obs
+    except ImportError:
+        sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+        from repro import obs
+    return obs
+
+
 def append_history(
     history_dir: pathlib.Path,
     records: List[dict],
@@ -178,11 +193,7 @@ def append_history(
     wall-time check covers per-bench drift exactly like the ``--check``
     ratchet, with last-N-median damping on top.
     """
-    try:
-        from repro import obs
-    except ImportError:
-        sys.path.insert(0, str(BENCH_DIR.parent / "src"))
-        from repro import obs
+    obs = _import_obs()
     span_summary: dict = {}
     for record in records:
         for name, entry in (record.get("span_summary") or {}).items():
@@ -246,6 +257,12 @@ def main(argv: List[str] = None) -> int:
         help="append one repro.obs.history record for this run to the "
         "run-history store in this directory",
     )
+    parser.add_argument(
+        "--events",
+        default=None,
+        help="stream live telemetry (one point_start/point_end per bench, "
+        "resource gauges) to DIR/events.jsonl",
+    )
     args = parser.parse_args(argv)
 
     benches = discover(args.only)
@@ -262,13 +279,35 @@ def main(argv: List[str] = None) -> int:
         trace_dir = pathlib.Path(args.trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
 
+    bus = None
+    sampler = None
+    if args.events:
+        obs = _import_obs()
+        events_dir = pathlib.Path(args.events)
+        events_dir.mkdir(parents=True, exist_ok=True)
+        bus = obs.EventBus(path=events_dir / obs.EVENTS_FILENAME)
+        sampler = obs.ResourceSampler(bus, interval=2.0).start()
+        bus.emit(
+            "run_start", command="benchmarks", benches=[p.stem for p in benches]
+        )
+
     run_start = time.perf_counter()
     failures = 0
     records = []
-    for path in benches:
+    for index, path in enumerate(benches):
+        if bus is not None:
+            bus.emit(
+                "point_start", index=index, point=path.stem, attempt=0,
+                total=len(benches), cached=False,
+            )
         record = run_bench(path, trace_dir=trace_dir)
         failures += 0 if record["ok"] else 1
         records.append(record)
+        if bus is not None:
+            bus.emit(
+                "point_end", index=index, point=path.stem, attempt=0,
+                ok=record["ok"], cached=False, elapsed_s=record["elapsed_s"],
+            )
         print(json.dumps(record), flush=True)
 
     if args.out:
@@ -287,6 +326,17 @@ def main(argv: List[str] = None) -> int:
                 file=sys.stderr,
             )
     exit_code = 1 if (failures or problems) else 0
+    if bus is not None:
+        if sampler is not None:
+            sampler.stop()
+        bus.emit(
+            "run_end",
+            command="benchmarks",
+            status="ok" if exit_code == 0 else "error",
+            exit_code=exit_code,
+            wall_s=round(time.perf_counter() - run_start, 3),
+        )
+        bus.close()
     if args.history:
         append_history(
             pathlib.Path(args.history),

@@ -15,6 +15,12 @@ contract:
 * ``test_enabled_tracing_captures_flow`` — sanity-checks that the same
   workload, traced, actually yields the nested flow/opt span tree the
   overhead is buying.
+* ``test_disabled_bus_overhead_under_two_percent`` — same contract for the
+  live telemetry bus (:mod:`repro.obs.events`): counts the events one
+  representative sweep emits when a bus is active, microbenchmarks the
+  disabled ``emit_event`` fast path, and asserts that the implied cost of
+  the permanently-instrumented emit sites stays under 2% of the
+  un-evented sweep's wall time.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.utils.tables import TextTable
 
 _SPAN_PROBE_ITERS = 200_000
 _COUNTER_PROBE_ITERS = 200_000
+_EMIT_PROBE_ITERS = 200_000
 _WORKLOAD_ROUNDS = 3
 
 #: the representative workload: one full-analysis optimized flow run, the
@@ -99,6 +106,55 @@ def test_disabled_overhead_under_two_percent():
         f"({span_calls} spans x {span_cost * 1e9:.0f}ns + "
         f"{counter_calls} counters x {counter_cost * 1e9:.0f}ns "
         f"on a {untraced_s:.4f}s run); budget is 2%"
+    )
+
+
+def test_disabled_bus_overhead_under_two_percent():
+    from repro.explore import run_sweep
+    from repro.explore.spec import SweepSpec
+
+    spec = SweepSpec(designs=(_WORKLOAD_DESIGN,), methods=("fa_aot", "wallace"))
+    run_sweep(spec)  # warm imports and design construction
+
+    # how many bus emissions does the same sweep make when evented?
+    bus = obs.EventBus()
+    with obs.eventing(bus):
+        run_sweep(spec, heartbeat_s=0)
+    emit_calls = sum(bus.counts.values())
+    assert emit_calls > 0, "evented sweep emitted nothing"
+
+    best = float("inf")
+    with obs.disabled():
+        for _ in range(_WORKLOAD_ROUNDS):
+            start = time.perf_counter()
+            run_sweep(spec)
+            best = min(best, time.perf_counter() - start)
+
+    # per-call cost of the no-bus-installed emit_event fast path
+    assert obs.current_bus() is None
+    start = time.perf_counter()
+    for _ in range(_EMIT_PROBE_ITERS):
+        obs.emit_event("heartbeat", elapsed_s=0.0)
+    emit_cost = (time.perf_counter() - start) / _EMIT_PROBE_ITERS
+
+    overhead_s = emit_calls * emit_cost
+    fraction = overhead_s / best
+
+    table = TextTable(["quantity", "value"], float_digits=6)
+    table.add_row(["un-evented sweep wall time (s, best-of-N)", best])
+    table.add_row(["bus emissions per evented sweep", emit_calls])
+    table.add_row(["disabled emit cost (ns/call)", emit_cost * 1e9])
+    table.add_row(["implied disabled overhead (s)", overhead_s])
+    table.add_row(["overhead fraction", fraction])
+    save_report(
+        "obs_bus_overhead",
+        table.render(title="event-bus disabled-path overhead on one 2-point sweep"),
+    )
+
+    assert fraction < 0.02, (
+        f"disabled event bus costs {fraction:.2%} of the sweep "
+        f"({emit_calls} emits x {emit_cost * 1e9:.0f}ns on a {best:.4f}s run); "
+        f"budget is 2%"
     )
 
 

@@ -157,7 +157,10 @@ def add_observability_options(parser: argparse.ArgumentParser) -> None:
     ``--profile`` prints the top-span table to stderr, ``--log-level``
     configures the ``repro`` logging bridge, ``--manifest`` writes the run
     manifest and ``--history`` appends the run record to a
-    :class:`repro.obs.HistoryStore`.
+    :class:`repro.obs.HistoryStore`.  ``--events`` / ``--live`` install a
+    :class:`repro.obs.EventBus` streaming live telemetry (JSONL file and/or
+    stderr progress line) and ``--point-timeout`` arms the sweep engine's
+    straggler re-dispatch.
     """
     from repro.obs import LOG_LEVELS
 
@@ -193,6 +196,29 @@ def add_observability_options(parser: argparse.ArgumentParser) -> None:
         help="append this run's record (QoR, span summary, counters, "
         "manifest) to the run-history store in DIR; implies span "
         "collection (default: $REPRO_HISTORY when set)",
+    )
+    group.add_argument(
+        "--events",
+        metavar="DIR",
+        default=None,
+        help="stream live telemetry events (points, heartbeats, stalls, "
+        "retries, resource gauges) to DIR/events.jsonl; follow with "
+        "'repro obs tail'",
+    )
+    group.add_argument(
+        "--live",
+        action="store_true",
+        help="render a live progress line (done/total, ETA, cache hits, "
+        "stalls) on stderr while the command runs",
+    )
+    group.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard wall-time budget per sweep point (parallel sweeps): "
+        "a point in flight longer is abandoned and re-dispatched, then "
+        "recorded as errored — a hung worker cannot hang the sweep",
     )
 
 

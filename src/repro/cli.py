@@ -24,6 +24,10 @@ Usage examples::
     repro-datapath obs check --history .history            # regression gate
     repro-datapath obs report --history .history --out report.html
     repro-datapath obs flame run.trace.json --out run.collapsed
+    repro-datapath explore --jobs 4 --events run-events --live \\
+        --point-timeout 120                  # streamed live telemetry
+    repro-datapath obs tail run-events/events.jsonl -f
+    repro-datapath obs events-check run-events/events.jsonl --require run_end
 
 Every flow knob flag on ``synth`` / ``compare``, every sweep-axis flag on
 ``explore`` and every fuzz-domain flag on ``verify`` is **generated from
@@ -135,6 +139,8 @@ def _record_sweep(sweep: SweepResult) -> None:
         recorder.add_key(f"{outcome.point.design}:{outcome.point.digest()}")
         if outcome.metrics is not None:
             recorder.add_qor(outcome.metrics)
+    if sweep.events_summary:
+        recorder.add_extra(events_summary=sweep.events_summary)
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -213,7 +219,11 @@ def _run_table_sweep(spec: SweepSpec, args: argparse.Namespace) -> SweepResult:
 
     try:
         sweep = run_sweep(
-            spec, jobs=args.jobs, cache=args.cache_dir, progress=progress
+            spec,
+            jobs=args.jobs,
+            cache=args.cache_dir,
+            progress=progress,
+            point_timeout=getattr(args, "point_timeout", None),
         )
     except ReproError as exc:
         raise SystemExit(str(exc))
@@ -250,7 +260,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         status = "cached" if outcome.cached else ("FAILED" if not outcome.ok else "ok")
         log.info("  [%d/%d] %s: %s", done, total, outcome.point.label(), status)
 
-    sweep = run_sweep(spec, jobs=args.jobs, cache=args.cache_dir, progress=progress)
+    sweep = run_sweep(
+        spec,
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        progress=progress,
+        point_timeout=getattr(args, "point_timeout", None),
+    )
     _record_sweep(sweep)
     print(sweep_report(sweep, pareto=args.pareto))
     try:
@@ -514,10 +530,94 @@ def _cmd_obs_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_event(event: Dict[str, object]) -> str:
+    """One human-readable line per telemetry event (``obs tail``)."""
+    ts = event.get("ts")
+    if isinstance(ts, (int, float)):
+        stamp = time.strftime("%H:%M:%S", time.localtime(ts))
+        stamp += f".{int((ts % 1) * 1000):03d}"
+    else:
+        stamp = "??:??:??.???"
+    attrs = event.get("attrs") or {}
+    attrs_text = " ".join(f"{key}={value}" for key, value in attrs.items())
+    return f"{stamp} {event.get('pid', '?'):>7} {event.get('kind', '?'):<11} {attrs_text}".rstrip()
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Pretty-print an events.jsonl stream, optionally following it."""
+    kinds = None
+    if args.kinds:
+        kinds = {k.strip() for k in args.kinds.split(",") if k.strip()}
+    try:
+        handle = open(args.events_file, "r", encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot read event stream {args.events_file}: {exc}")
+    corrupt = 0
+    try:
+        buffer = ""
+        while True:
+            chunk = handle.readline()
+            if not chunk:
+                if not args.follow:
+                    break
+                time.sleep(0.2)
+                continue
+            buffer += chunk
+            if not buffer.endswith("\n"):
+                continue  # torn line of a live writer: wait for the rest
+            line, buffer = buffer.strip(), ""
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if kinds is not None and event.get("kind") not in kinds:
+                continue
+            print(_format_event(event))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        handle.close()
+    if corrupt:
+        print(f"({corrupt} corrupt line(s) skipped)", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_events_check(args: argparse.Namespace) -> int:
+    """Validate event streams: schema, per-pid seq monotonicity, kinds."""
+    require = [k.strip() for k in (args.require or "").split(",") if k.strip()]
+    ok = True
+    for path in args.files:
+        try:
+            events, problems = obs.load_events(path)
+        except OSError as exc:
+            raise SystemExit(f"cannot read event stream {path}: {exc}")
+        problems += obs.check_event_stream(events, require=require)
+        if problems:
+            ok = False
+            print(f"FAIL {path}: {len(problems)} problem(s)")
+            for problem in problems[:25]:
+                print(f"  {problem}")
+            if len(problems) > 25:
+                print(f"  ... and {len(problems) - 25} more")
+        else:
+            by_kind: Dict[str, int] = {}
+            for event in events:
+                kind = str(event.get("kind"))
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+            kinds_text = " ".join(f"{k}={by_kind[k]}" for k in sorted(by_kind))
+            print(f"OK {path}: {len(events)} event(s) [{kinds_text}]")
+    return 0 if ok else 1
+
+
 def _add_obs_commands(sub) -> None:
     """Register the ``obs`` subcommand family on the main subparsers."""
     obs_parser = sub.add_parser(
-        "obs", help="run-history store: ingest, diff, check, flame, report"
+        "obs",
+        help="observability: history ingest/diff/check/flame/report, "
+        "live event streams (tail, events-check)",
     )
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
 
@@ -593,6 +693,36 @@ def _add_obs_commands(sub) -> None:
     )
     history_arg(compact)
     compact.set_defaults(func=_cmd_obs_compact)
+
+    tail = obs_sub.add_parser(
+        "tail", help="pretty-print (and follow) a live events.jsonl stream"
+    )
+    tail.add_argument(
+        "events_file", metavar="EVENTS_JSONL",
+        help="event stream written by --events (DIR/events.jsonl)",
+    )
+    tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep reading as the file grows (Ctrl-C to stop)",
+    )
+    tail.add_argument(
+        "--kinds", metavar="K1,K2", default=None,
+        help="only show these event kinds (e.g. stall,retry,point_end)",
+    )
+    tail.set_defaults(func=_cmd_obs_tail)
+
+    events_check = obs_sub.add_parser(
+        "events-check",
+        help="validate event streams: schema, per-pid seq monotonicity",
+    )
+    events_check.add_argument(
+        "files", nargs="+", metavar="EVENTS_JSONL", help="event streams to check"
+    )
+    events_check.add_argument(
+        "--require", default=None, metavar="KINDS",
+        help="comma-separated event kinds that must appear (e.g. stall,retry)",
+    )
+    events_check.set_defaults(func=_cmd_obs_events_check)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -825,10 +955,14 @@ def _run_command(args: argparse.Namespace) -> int:
     Commands without the shared flags (``list-designs``, the ``obs``
     family) run bare.  A tracer is installed when ``--trace`` /
     ``--profile`` asked for spans or ``--history`` needs span summaries,
-    so plain runs keep the disabled-tracing fast path.  Artifacts are
-    written even when the command exits via ``SystemExit`` — a failed
-    sweep's partial trace is exactly what one wants to look at — and the
-    history record carries the end-to-end exit status either way.
+    so plain runs keep the disabled-tracing fast path; likewise an
+    :class:`repro.obs.EventBus` only exists under ``--events`` /
+    ``--live``, bracketing the command in ``run_start`` / ``run_end``
+    events with a resource-gauge sampler (and the live progress renderer)
+    attached.  Artifacts are written even when the command exits via
+    ``SystemExit`` — a failed sweep's partial trace is exactly what one
+    wants to look at — and the history record carries the end-to-end exit
+    status either way.
     """
     if not hasattr(args, "log_level"):
         return args.func(args)
@@ -838,11 +972,25 @@ def _run_command(args: argparse.Namespace) -> int:
         obs.Tracer() if (args.trace or args.profile or history_dir) else None
     )
     recorder = obs.RunRecorder(args.command) if history_dir else None
+    events_dir = getattr(args, "events", None)
+    bus = None
+    sampler = None
+    if events_dir or getattr(args, "live", False):
+        events_path = (
+            os.path.join(events_dir, obs.EVENTS_FILENAME) if events_dir else None
+        )
+        bus = obs.EventBus(path=events_path)
+        if getattr(args, "live", False):
+            bus.subscribe(obs.ProgressRenderer().handle)
+        sampler = obs.ResourceSampler(bus, interval=1.0).start()
+        bus.emit("run_start", command=args.command)
+        if events_path:
+            log.info("streaming telemetry events to %s", events_path)
     start = time.perf_counter()
     code: Optional[int] = None
     failed = False
     try:
-        with obs.tracing(tracer), obs.recording(recorder):
+        with obs.tracing(tracer), obs.recording(recorder), obs.eventing(bus):
             code = args.func(args)
     except SystemExit as exc:
         if isinstance(exc.code, int):
@@ -857,6 +1005,19 @@ def _run_command(args: argparse.Namespace) -> int:
         wall_s = time.perf_counter() - start
         exit_code = 1 if (failed or code is None) else code
         status = "ok" if exit_code == 0 else "error"
+        if bus is not None:
+            if sampler is not None:
+                sampler.stop()
+            bus.emit(
+                "run_end",
+                command=args.command,
+                status=status,
+                exit_code=exit_code,
+                wall_s=round(wall_s, 6),
+            )
+            if recorder is not None:
+                recorder.add_extra(events_summary=bus.summary())
+            bus.close()
         _emit_observability(args, tracer, wall_s, status=status, exit_code=exit_code)
         if recorder is not None and history_dir is not None:
             _append_history(

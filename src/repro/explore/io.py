@@ -35,8 +35,11 @@ def sweep_to_json_obj(sweep: SweepResult) -> Dict[str, object]:
     """JSON-able artifact: one record per sweep point plus a run summary.
 
     Traced sweeps additionally carry the merged ``span_summary`` (the
-    shared :func:`repro.obs.aggregate_spans` schema); untraced artifacts
-    are byte-identical to the pre-observability format.
+    shared :func:`repro.obs.aggregate_spans` schema) and monitored sweeps
+    (active event bus or ``point_timeout``) the ``events_summary``
+    roll-up — stalls, retries, cache hits vs misses, peak RSS, worker
+    utilization; plain artifacts are byte-identical to the
+    pre-observability format.
     """
     obj = {
         "schema": "repro.explore.sweep",
@@ -56,6 +59,8 @@ def sweep_to_json_obj(sweep: SweepResult) -> Dict[str, object]:
     span_summary = sweep.span_summary()
     if span_summary:
         obj["span_summary"] = span_summary
+    if sweep.events_summary:
+        obj["events_summary"] = sweep.events_summary
     return obj
 
 

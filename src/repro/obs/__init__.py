@@ -28,6 +28,22 @@ from repro.obs.chrome import (
     validate_trace_obj,
     write_chrome_trace,
 )
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    EVENTS_FILENAME,
+    EventBus,
+    check_event_stream,
+    current_bus,
+    emit_event,
+    eventing,
+    load_events,
+    new_run_id,
+    point_heartbeat,
+    validate_event_obj,
+    worker_bus,
+)
 from repro.obs.history import (
     HISTORY_ENV,
     HistoryStore,
@@ -51,6 +67,7 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.profile import profile_rows, render_profile
+from repro.obs.progress import ProgressRenderer
 from repro.obs.report import (
     collapsed_stacks,
     render_dashboard,
@@ -58,6 +75,7 @@ from repro.obs.report import (
     write_dashboard,
     write_flamegraph,
 )
+from repro.obs.resource import ResourceSampler, cpu_seconds, rss_bytes, sample_resources
 from repro.obs.tracer import (
     Tracer,
     aggregate_spans,
@@ -70,29 +88,46 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "EVENT_KINDS",
+    "EVENT_SCHEMA",
+    "EVENT_SCHEMA_VERSION",
+    "EVENTS_FILENAME",
+    "EventBus",
     "HISTORY_ENV",
     "HistoryStore",
     "LOG_LEVELS",
+    "ProgressRenderer",
+    "ResourceSampler",
     "RunRecorder",
     "Thresholds",
     "Tracer",
     "aggregate_spans",
     "build_record",
+    "check_event_stream",
     "check_history",
     "collapsed_stacks",
     "configure_logging",
     "counter",
+    "cpu_seconds",
+    "current_bus",
     "current_recorder",
     "current_tracer",
     "diff_records",
     "disabled",
+    "emit_event",
+    "eventing",
     "gating_findings",
     "gauge",
     "get_logger",
     "git_provenance",
+    "load_events",
+    "new_run_id",
     "peak_rss_bytes",
+    "point_heartbeat",
     "profile_rows",
     "recording",
+    "rss_bytes",
+    "sample_resources",
     "render_dashboard",
     "render_findings",
     "render_profile",
@@ -103,8 +138,10 @@ __all__ = [
     "trace_events",
     "trace_obj",
     "tracing",
+    "validate_event_obj",
     "validate_record",
     "validate_trace_obj",
+    "worker_bus",
     "write_chrome_trace",
     "write_dashboard",
     "write_flamegraph",

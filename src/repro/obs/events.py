@@ -1,0 +1,371 @@
+"""Live telemetry bus: schema-versioned JSONL event streams for runs.
+
+Where the tracer (:mod:`repro.obs.tracer`) answers *"what happened?"*
+after a run, the event bus answers *"what is happening?"* while it runs.
+An :class:`EventBus` multiplexes small structured events to an
+append-only JSONL file and to in-process subscribers (the live progress
+renderer, tests); sweep workers in other processes append to the same
+file through their own :func:`worker_bus`, so one ``events.jsonl``
+interleaves the whole fleet and ``repro obs tail`` can follow it live.
+
+Schema (``repro.obs.events`` v1) — one JSON object per line::
+
+    {"schema": "repro.obs.events", "schema_version": 1,
+     "ts": <epoch seconds>, "run_id": "<hex>", "pid": <int>,
+     "seq": <int>, "kind": "<kind>", "attrs": {...}}
+
+``seq`` is monotone per emitter (per ``(run_id, pid)`` stream), which is
+what :func:`check_event_stream` verifies — a gap-free, strictly
+increasing sequence per pid proves no emitter lost writes.  Kinds:
+
+====================  ====================================================
+``run_start``         CLI driver: command, argv
+``point_start``       dispatcher: a sweep point was dispatched (or cached)
+``point_end``         dispatcher: outcome of a point (ok/error/cached)
+``heartbeat``         worker: still alive inside a point
+``resource``          any pid: RSS/CPU gauges
+``stall``             dispatcher: point exceeded stall_factor x median
+``retry``             dispatcher: point re-dispatched (timeout or crash)
+``run_end``           CLI driver: status, wall time
+====================  ====================================================
+
+Like the tracer, the bus follows the ``_ACTIVE``-global pattern:
+:func:`emit_event` is a no-op dict-lookup-and-return when no bus is
+installed, so instrumented code paths cost nothing in normal runs.
+File appends are a single ``os.write`` on an ``O_APPEND`` descriptor —
+atomic for lines under ``PIPE_BUF``, so a killed worker can tear at most
+its own unflushed line, never interleave bytes into another pid's line.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.logbridge import get_logger
+from repro.obs.resource import sample_resources
+
+EVENT_SCHEMA = "repro.obs.events"
+EVENT_SCHEMA_VERSION = 1
+
+#: the closed set of event kinds in schema v1
+EVENT_KINDS = (
+    "run_start",
+    "point_start",
+    "point_end",
+    "heartbeat",
+    "resource",
+    "stall",
+    "retry",
+    "run_end",
+)
+
+#: default file name used by ``--events DIR``
+EVENTS_FILENAME = "events.jsonl"
+
+log = get_logger("obs.events")
+
+
+def new_run_id() -> str:
+    """A 16-hex-char run identifier (same shape as history record ids)."""
+    seed = f"{os.getpid()}:{time.time_ns()}".encode("utf-8")
+    return hashlib.sha256(seed).hexdigest()[:16]
+
+
+def _json_safe(value):
+    """Coerce an attribute value to something JSON-serializable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+class EventBus:
+    """Multiplexes telemetry events to a JSONL file and subscribers.
+
+    Parameters
+    ----------
+    path:
+        Optional path of the append-only JSONL stream.  ``None`` keeps the
+        bus purely in-process (subscribers only) — tests and the ``--live``
+        renderer work without touching disk.
+    run_id:
+        Identifier stamped on every event; generated when omitted.  Worker
+        buses reuse the driver's id so one file holds one logical run.
+
+    ``emit`` is thread-safe (heartbeat threads share the bus with the main
+    thread); subscriber exceptions are logged and swallowed so a broken
+    renderer can never corrupt a sweep.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        run_id: Optional[str] = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.run_id = run_id or new_run_id()
+        self._fd: Optional[int] = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._subscribers: List[Callable[[dict], None]] = []
+        self.counts: Dict[str, int] = {}
+        self.peak_rss_bytes: Optional[int] = None
+        self._annotations: Dict[str, object] = {}
+
+    # -- subscribers --------------------------------------------------
+
+    def subscribe(self, fn: Callable[[dict], None]) -> None:
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[dict], None]) -> None:
+        with contextlib.suppress(ValueError):
+            self._subscribers.remove(fn)
+
+    # -- emission -----------------------------------------------------
+
+    def emit(self, kind: str, **attrs) -> dict:
+        """Emit one event; returns the event object that was written."""
+        event = {
+            "schema": EVENT_SCHEMA,
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "ts": round(time.time(), 6),
+            "run_id": self.run_id,
+            "pid": os.getpid(),
+            "kind": kind,
+            "attrs": {key: _json_safe(value) for key, value in attrs.items()},
+        }
+        with self._lock:
+            event["seq"] = self._seq
+            self._seq += 1
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            rss = attrs.get("peak_rss_bytes") or attrs.get("rss_bytes")
+            if isinstance(rss, int) and (
+                self.peak_rss_bytes is None or rss > self.peak_rss_bytes
+            ):
+                self.peak_rss_bytes = rss
+            if self._fd is not None:
+                line = json.dumps(event, sort_keys=True) + "\n"
+                try:
+                    os.write(self._fd, line.encode("utf-8"))
+                except OSError as exc:  # full disk must not kill the sweep
+                    log.warning("event write failed: %s", exc)
+        for fn in list(self._subscribers):
+            try:
+                fn(event)
+            except Exception as exc:
+                log.warning("event subscriber %r failed: %s", fn, exc)
+        return event
+
+    # -- bookkeeping --------------------------------------------------
+
+    def annotate(self, **facts) -> None:
+        """Attach run-level facts (worker utilization, cache hits) to
+        :meth:`summary` without emitting an event."""
+        self._annotations.update(
+            {key: _json_safe(value) for key, value in facts.items()}
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Deterministic roll-up for the run-history record."""
+        out: Dict[str, object] = {
+            "run_id": self.run_id,
+            "events": sum(self.counts.values()),
+            "by_kind": {k: self.counts[k] for k in sorted(self.counts)},
+            "stalls": self.counts.get("stall", 0),
+            "retries": self.counts.get("retry", 0),
+        }
+        if self.peak_rss_bytes is not None:
+            out["peak_rss_bytes"] = self.peak_rss_bytes
+        out.update(self._annotations)
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                with contextlib.suppress(OSError):
+                    os.close(self._fd)
+                self._fd = None
+
+
+# -- active-bus global (mirrors tracer._ACTIVE) -----------------------
+
+_ACTIVE_BUS: Optional[EventBus] = None
+
+
+def current_bus() -> Optional[EventBus]:
+    """The installed bus, or ``None`` when telemetry is off."""
+    return _ACTIVE_BUS
+
+
+@contextlib.contextmanager
+def eventing(bus: Optional[EventBus]):
+    """Install ``bus`` as the active event bus for the duration.
+
+    ``eventing(None)`` is a no-op passthrough, so call sites can write
+    ``with eventing(maybe_bus):`` unconditionally.
+    """
+    global _ACTIVE_BUS
+    if bus is None:
+        yield None
+        return
+    previous = _ACTIVE_BUS
+    _ACTIVE_BUS = bus
+    try:
+        yield bus
+    finally:
+        _ACTIVE_BUS = previous
+
+
+def emit_event(kind: str, **attrs) -> Optional[dict]:
+    """Emit on the active bus; near-free no-op when telemetry is off."""
+    bus = _ACTIVE_BUS
+    if bus is None:
+        return None
+    return bus.emit(kind, **attrs)
+
+
+# -- worker-side bus --------------------------------------------------
+
+_WORKER_BUS: Optional[EventBus] = None
+
+
+def worker_bus(path: Union[str, Path], run_id: str) -> EventBus:
+    """The per-process file-only bus used inside pool workers.
+
+    Cached in a module global keyed by ``(path, run_id)`` so a worker
+    process reused for many points keeps one strictly-monotone ``seq``
+    stream; pool rebuilds fork fresh processes and get fresh buses.
+    """
+    global _WORKER_BUS
+    bus = _WORKER_BUS
+    if bus is not None and bus.path == Path(path) and bus.run_id == run_id:
+        return bus
+    if bus is not None:
+        bus.close()
+    _WORKER_BUS = EventBus(path=path, run_id=run_id)
+    return _WORKER_BUS
+
+
+@contextlib.contextmanager
+def point_heartbeat(bus: Optional[EventBus], interval: float, **attrs):
+    """Emit ``heartbeat`` + ``resource`` events on ``bus`` every
+    ``interval`` seconds from a daemon thread while the body runs.
+
+    A hung-but-alive worker keeps beating (that is the point: the stream
+    distinguishes *stuck* from *dead*), so the thread is a daemon and the
+    exit join is bounded.
+    """
+    if bus is None or interval is None or interval <= 0:
+        yield
+        return
+    stop = threading.Event()
+    start = time.perf_counter()
+
+    def _beat() -> None:
+        while not stop.wait(interval):
+            elapsed = round(time.perf_counter() - start, 6)
+            bus.emit("heartbeat", elapsed_s=elapsed, **attrs)
+            bus.emit("resource", elapsed_s=elapsed, **sample_resources())
+
+    thread = threading.Thread(target=_beat, name="repro-heartbeat", daemon=True)
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join(timeout=0.2)
+
+
+# -- validation (mirrors chrome.validate_trace_obj) -------------------
+
+
+def validate_event_obj(obj) -> List[str]:
+    """Structural check of one event object; returns a list of problems."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"event is {type(obj).__name__}, expected object"]
+    if obj.get("schema") != EVENT_SCHEMA:
+        problems.append(f"schema is {obj.get('schema')!r}, expected {EVENT_SCHEMA!r}")
+    if obj.get("schema_version") != EVENT_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {obj.get('schema_version')!r}, "
+            f"expected {EVENT_SCHEMA_VERSION}"
+        )
+    if not isinstance(obj.get("ts"), (int, float)):
+        problems.append("ts missing or not a number")
+    if not isinstance(obj.get("run_id"), str) or not obj.get("run_id"):
+        problems.append("run_id missing or not a non-empty string")
+    if not isinstance(obj.get("pid"), int):
+        problems.append("pid missing or not an integer")
+    seq = obj.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        problems.append("seq missing or not a non-negative integer")
+    kind = obj.get("kind")
+    if kind not in EVENT_KINDS:
+        problems.append(f"kind {kind!r} not in {'/'.join(EVENT_KINDS)}")
+    if not isinstance(obj.get("attrs"), dict):
+        problems.append("attrs missing or not an object")
+    return problems
+
+
+def load_events(path: Union[str, Path]) -> Tuple[List[dict], List[str]]:
+    """Parse a JSONL event stream; corrupt lines become problems, not
+    exceptions (a live stream may end in a torn final line)."""
+    events: List[dict] = []
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: not valid JSON ({exc.msg})")
+    return events, problems
+
+
+def check_event_stream(
+    events: Iterable[dict], require: Sequence[str] = ()
+) -> List[str]:
+    """Validate a whole stream: per-event schema, per-``(run_id, pid)``
+    ``seq`` monotonicity, and presence of ``require``-d kinds."""
+    problems: List[str] = []
+    last_seq: Dict[Tuple[str, int], int] = {}
+    seen_kinds: Dict[str, int] = {}
+    for index, event in enumerate(events):
+        for problem in validate_event_obj(event):
+            problems.append(f"event {index}: {problem}")
+        if not isinstance(event, dict):
+            continue
+        kind = event.get("kind")
+        if isinstance(kind, str):
+            seen_kinds[kind] = seen_kinds.get(kind, 0) + 1
+        run_id, pid, seq = event.get("run_id"), event.get("pid"), event.get("seq")
+        if isinstance(run_id, str) and isinstance(pid, int) and isinstance(seq, int):
+            key = (run_id, pid)
+            if key in last_seq and seq <= last_seq[key]:
+                problems.append(
+                    f"event {index}: seq {seq} not monotone for pid {pid} "
+                    f"(last was {last_seq[key]})"
+                )
+            last_seq[key] = seq
+    for kind in require:
+        if kind not in seen_kinds:
+            problems.append(f"required event kind {kind!r} never emitted")
+    return problems

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Validate observability artifacts: Chrome traces and history stores.
+"""Validate observability artifacts: traces, history stores, event streams.
 
 CI's obs-smoke job runs this against the traces of a ``synth`` and an
 ``explore`` run: the file must parse, satisfy the trace-event schema
@@ -8,6 +8,10 @@ the span names the instrumented flow is expected to emit.  The obs-history
 job runs the ``--history`` mode against a run-history store directory:
 every segment record must satisfy the record schema and the compacted
 index must agree with the segments (:meth:`repro.obs.HistoryStore.check`).
+The obs-live job runs the ``--events`` mode against a live telemetry
+stream (``--events DIR`` output): every line must satisfy the
+``repro.obs.events`` schema and every ``(run_id, pid)`` emitter must have
+a strictly monotone ``seq`` (:func:`repro.obs.check_event_stream`).
 
 Usage::
 
@@ -15,6 +19,7 @@ Usage::
         --require flow.run flow.frontend flow.optimize
     PYTHONPATH=src python tools/check_trace.py --history .history \
         --min-records 2
+    PYTHONPATH=src python tools/check_trace.py --events run-events/events.jsonl
 
 Exits non-zero (with one problem per line on stderr) on any violation.
 """
@@ -69,6 +74,24 @@ def check_history(path: str, min_records: int = 0) -> List[str]:
     return problems
 
 
+def check_events(path: str, min_events: int = 0) -> List[str]:
+    """All problems with the event stream at ``path`` (empty list = valid)."""
+    from repro.obs import check_event_stream, load_events
+
+    try:
+        events, problems = load_events(path)
+    except OSError as exc:
+        return [f"cannot load {path}: {exc}"]
+    problems = [f"{path}: {problem}" for problem in problems]
+    problems += [f"{path}: {problem}" for problem in check_event_stream(events)]
+    if min_events and len(events) < min_events:
+        problems.append(
+            f"{path}: stream holds {len(events)} event(s), "
+            f"expected at least {min_events}"
+        )
+    return problems
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", nargs="*", help="trace file(s) to validate")
@@ -93,14 +116,34 @@ def main(argv: List[str] = None) -> int:
         metavar="N",
         help="with --history: require at least N valid records",
     )
+    parser.add_argument(
+        "--events",
+        nargs="*",
+        default=[],
+        metavar="FILE",
+        help="validate live telemetry event stream(s) "
+        "(schema + per-pid seq monotonicity)",
+    )
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --events: require at least N valid events per stream",
+    )
     args = parser.parse_args(argv)
-    if not args.trace and not args.history:
-        parser.error("nothing to check: pass trace file(s) and/or --history DIR")
+    if not args.trace and not args.history and not args.events:
+        parser.error(
+            "nothing to check: pass trace file(s), --history DIR "
+            "and/or --events FILE"
+        )
     problems: List[str] = []
     for path in args.trace:
         problems.extend(check_trace(path, args.require))
     if args.history:
         problems.extend(check_history(args.history, args.min_records))
+    for path in args.events:
+        problems.extend(check_events(path, args.min_events))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
@@ -108,6 +151,8 @@ def main(argv: List[str] = None) -> int:
             print(f"{path}: OK")
         if args.history:
             print(f"{args.history}: OK")
+        for path in args.events:
+            print(f"{path}: OK")
     return 1 if problems else 0
 
 
