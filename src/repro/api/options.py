@@ -159,8 +159,8 @@ def add_observability_options(parser: argparse.ArgumentParser) -> None:
     manifest and ``--history`` appends the run record to a
     :class:`repro.obs.HistoryStore`.  ``--events`` / ``--live`` install a
     :class:`repro.obs.EventBus` streaming live telemetry (JSONL file and/or
-    stderr progress line) and ``--point-timeout`` arms the sweep engine's
-    straggler re-dispatch.
+    stderr progress line) and ``--point-timeout`` / ``--stall-factor`` tune
+    the sweep engine's straggler re-dispatch and stall flagging.
     """
     from repro.obs import LOG_LEVELS
 
@@ -219,6 +219,15 @@ def add_observability_options(parser: argparse.ArgumentParser) -> None:
         help="hard wall-time budget per sweep point (parallel sweeps): "
         "a point in flight longer is abandoned and re-dispatched, then "
         "recorded as errored — a hung worker cannot hang the sweep",
+    )
+    group.add_argument(
+        "--stall-factor",
+        type=float,
+        default=4.0,
+        metavar="FACTOR",
+        help="flag a sweep point as stalling once it has been in flight "
+        "longer than FACTOR x the rolling median point time (default: 4; "
+        "0 or negative disables stall detection)",
     )
 
 

@@ -206,6 +206,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stall_factor_from_args(args: argparse.Namespace):
+    """The ``--stall-factor`` value; 0 or negative disables stall flagging."""
+    factor = getattr(args, "stall_factor", 4.0)
+    if factor is not None and factor <= 0:
+        return None
+    return factor
+
+
 def _run_table_sweep(spec: SweepSpec, args: argparse.Namespace) -> SweepResult:
     """Run a paper-table preset sweep, mirroring the legacy progress lines."""
     announced = set()
@@ -224,6 +232,7 @@ def _run_table_sweep(spec: SweepSpec, args: argparse.Namespace) -> SweepResult:
             cache=args.cache_dir,
             progress=progress,
             point_timeout=getattr(args, "point_timeout", None),
+            stall_factor=_stall_factor_from_args(args),
         )
     except ReproError as exc:
         raise SystemExit(str(exc))
@@ -266,6 +275,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         cache=args.cache_dir,
         progress=progress,
         point_timeout=getattr(args, "point_timeout", None),
+        stall_factor=_stall_factor_from_args(args),
     )
     _record_sweep(sweep)
     print(sweep_report(sweep, pareto=args.pareto))
@@ -586,7 +596,7 @@ def _cmd_obs_tail(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_events_check(args: argparse.Namespace) -> int:
-    """Validate event streams: schema, per-pid seq monotonicity, kinds."""
+    """Validate event streams: schema, gap-free per-pid seq, kinds."""
     require = [k.strip() for k in (args.require or "").split(",") if k.strip()]
     ok = True
     for path in args.files:
@@ -713,7 +723,8 @@ def _add_obs_commands(sub) -> None:
 
     events_check = obs_sub.add_parser(
         "events-check",
-        help="validate event streams: schema, per-pid seq monotonicity",
+        help="validate event streams: schema, gap-free strictly-increasing "
+        "seq per pid (a gap flags a lost write)",
     )
     events_check.add_argument(
         "files", nargs="+", metavar="EVENTS_JSONL", help="event streams to check"

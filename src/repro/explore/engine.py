@@ -22,9 +22,11 @@ The pool machinery itself is exposed as :func:`parallel_map`, a generic
 fan-out over any picklable worker function with the same serial-fallback
 semantics — this is what the verification subsystem (:mod:`repro.verify`)
 runs its fuzz cases and metamorphic checks on.  A pool whose worker
-*process* dies (``BrokenProcessPool``) is rebuilt once and the in-flight
-items are re-dispatched, so a single crashed worker no longer degrades
-the whole fan-out to a serial re-run.
+*process* dies (``BrokenProcessPool``) is rebuilt and the in-flight
+items are re-dispatched (only the point that was alone in flight is
+charged with the crash; co-resident siblings are requeued unpenalized),
+so a single crashed worker no longer degrades the whole fan-out to a
+serial re-run.
 
 Observability: when a :mod:`repro.obs` tracer is active in the parent,
 every point runs under its own child tracer (in the worker process for
@@ -552,10 +554,14 @@ def _run_parallel(
 
     Results are reported as they complete.  A broken pool (killed worker,
     ``BrokenProcessPool``) is rebuilt and the in-flight items re-dispatched;
-    with a monitor, an item whose worker crashes twice is reported as a
-    synthesized error result, and in-flight points are watched for stalls
-    and ``point_timeout`` overruns (timed-out futures are abandoned and the
-    point re-dispatched or errored).  Only when the pool cannot be (re)built
+    a crash only counts against an item when it is attributable (the item
+    was alone in flight at break time) — co-resident siblings are requeued
+    unpenalized and re-run one at a time until the culprit is isolated.
+    With a monitor, an item whose worker crashes twice (attributed) is
+    reported as a synthesized error result, and in-flight points are
+    watched for stalls and ``point_timeout`` overruns (timed-out futures
+    are abandoned and the point re-dispatched or errored).  Only when the
+    pool cannot be (re)built
     do the unreported items re-run serially and the function return True.
     An exception raised by ``report`` itself (cache write failure,
     progress-callback bug) propagates to the caller instead of silently
@@ -574,9 +580,13 @@ def _run_parallel(
     abandoned: List = []  # timed-out futures, possibly still running
     completed: Set[int] = set()
     crashes = monitor.crashes if monitor is not None else {}
+    # points co-resident with an unattributable pool break: requeued with
+    # no crash strike, then run one at a time (alone in flight) so the
+    # next break can be pinned on the point that actually caused it
+    suspects: Set[int] = set()
     # unmonitored callers keep the historic rebuild-once budget; monitored
-    # ones may rebuild per crash because per-point crash caps guarantee
-    # termination anyway
+    # ones may rebuild per crash because the rebuild budget itself bounds
+    # the suspect re-runs and per-point crash caps end attributed crashers
     rebuilds_left = 1 if monitor is None else 1 + 2 * len(pending)
     # monitored runs keep at most `jobs` futures in flight so a future's
     # dispatch timestamp approximates its start time (queue wait must not
@@ -585,6 +595,7 @@ def _run_parallel(
     serial_rest = False
 
     def finish(index: int, raw: object, wall_s: float) -> None:
+        suspects.discard(index)
         if monitor is not None:
             monitor.on_result(index, raw, wall_s)
         completed.add(index)
@@ -597,19 +608,32 @@ def _run_parallel(
         future = pool.submit(worker, *args)
         futures[future] = (index, time.perf_counter())
 
-    def handle_crash(index: int) -> None:
-        """This index's attempt died with the pool: requeue or give up."""
-        crashes[index] = crashes.get(index, 0) + 1
-        if monitor is not None and crashes[index] >= _MAX_CRASHES_PER_POINT:
-            log.warning(
-                "sweep point index %d crashed its worker %d times; "
-                "recording as error", index, crashes[index],
+    def handle_crash(index: int, attributed: bool) -> None:
+        """This index's attempt died with the pool: requeue or give up.
+
+        Only an ``attributed`` crash (the point was alone in flight at
+        break time) earns a strike toward ``_MAX_CRASHES_PER_POINT``;
+        collateral siblings are requeued unpenalized as suspects so a
+        healthy point can never be errored by a crashing neighbor.
+        """
+        if attributed:
+            crashes[index] = crashes.get(index, 0) + 1
+            if monitor is not None and crashes[index] >= _MAX_CRASHES_PER_POINT:
+                log.warning(
+                    "sweep point index %d crashed its worker %d times; "
+                    "recording as error", index, crashes[index],
+                )
+                finish(index, monitor.crash_result(index), 0.0)
+                return
+        # requeue isolated either way: a proven crasher must not smash
+        # fresh siblings, an unattributed one must run alone so the next
+        # break can be attributed
+        suspects.add(index)
+        if monitor is not None:
+            monitor.on_retry(
+                index, reason="worker-crash" if attributed else "pool-break"
             )
-            finish(index, monitor.crash_result(index), 0.0)
-        else:
-            if monitor is not None:
-                monitor.on_retry(index, reason="worker-crash")
-            queue.append(index)
+        queue.insert(0, index)
 
     def rebuild_pool() -> bool:
         nonlocal pool, rebuilds_left
@@ -626,9 +650,31 @@ def _run_parallel(
 
     try:
         while queue or futures:
+            # every worker burning an abandoned task would starve fresh
+            # submissions: recycle the pool, requeue the never-started
+            zombies = sum(1 for f in abandoned if not f.done())
+            if zombies >= jobs:
+                for future, (index, _since) in sorted(
+                    futures.items(),
+                    key=lambda kv: order[kv[1][0]],
+                    reverse=True,
+                ):
+                    queue.insert(0, index)
+                futures.clear()
+                if not rebuild_pool():
+                    serial_rest = True
+                    break
+                abandoned.clear()  # the zombies died with the old pool
+                zombies = 0
+            # remaining zombies still occupy workers: shrink the window
+            # by their count so a fresh future never sits in the pool
+            # queue with its dispatch clock counting toward point_timeout;
+            # while suspects wait at the queue front, run one point at a
+            # time (alone in flight) so the next break is attributable
+            cur_window = 1 if suspects else max(1, window - zombies)
             # top up the submission window
             submit_failed: Optional[int] = None
-            while queue and len(futures) < window:
+            while queue and len(futures) < cur_window:
                 index = queue.pop(0)
                 if monitor is not None:
                     monitor.on_start(index)
@@ -653,20 +699,28 @@ def _run_parallel(
             )
             now = time.perf_counter()
             pool_broke = False
+            crashed: List[int] = []
             for future in finished:
                 index, since = futures.pop(future)
                 try:
                     raw = future.result()
                 except Exception:
                     pool_broke = True
-                    handle_crash(index)
+                    crashed.append(index)
                     continue
                 finish(index, raw, now - since)
             if pool_broke:
-                # a break kills every in-flight sibling along with the pool
-                for future, (index, _since) in list(futures.items()):
-                    handle_crash(index)
+                # a break kills every in-flight sibling along with the
+                # pool, so the crash is attributable to a specific point
+                # only when that point was alone in flight (and no zombie
+                # worker could have been the one that died)
+                in_flight = crashed + [index for index, _ in futures.values()]
                 futures.clear()
+                sole = len(in_flight) == 1 and zombies == 0
+                for index in sorted(
+                    in_flight, key=lambda i: order[i], reverse=True
+                ):
+                    handle_crash(index, attributed=sole)
                 if not rebuild_pool():
                     serial_rest = True
                     break
@@ -686,20 +740,6 @@ def _run_parallel(
                         queue.append(index)
                     else:
                         finish(index, monitor.timeout_result(index, elapsed), elapsed)
-                # every worker burning an abandoned task would starve fresh
-                # submissions: recycle the pool, requeue the never-started
-                zombies = sum(1 for f in abandoned if not f.done())
-                if zombies >= jobs and (queue or futures):
-                    for future, (index, _since) in sorted(
-                        futures.items(),
-                        key=lambda kv: order[kv[1][0]],
-                        reverse=True,
-                    ):
-                        queue.insert(0, index)
-                    futures.clear()
-                    if not rebuild_pool():
-                        serial_rest = True
-                        break
     finally:
         if pool is not None:
             if any(not future.done() for future in abandoned):

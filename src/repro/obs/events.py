@@ -14,9 +14,12 @@ Schema (``repro.obs.events`` v1) — one JSON object per line::
      "ts": <epoch seconds>, "run_id": "<hex>", "pid": <int>,
      "seq": <int>, "kind": "<kind>", "attrs": {...}}
 
-``seq`` is monotone per emitter (per ``(run_id, pid)`` stream), which is
-what :func:`check_event_stream` verifies — a gap-free, strictly
-increasing sequence per pid proves no emitter lost writes.  Kinds:
+``seq`` increments by exactly one per event within an emitter's
+``(run_id, pid)`` stream, and the emitter advances it even when a file
+write fails, which is what lets :func:`check_event_stream` verify the
+recorded stream is gap-free and strictly increasing per pid: a gap means
+an emitter lost a write (e.g. a swallowed ``os.write`` error on a full
+disk), a repeat or regression means two emitters shared a pid.  Kinds:
 
 ====================  ====================================================
 ``run_start``         CLI driver: command, argv
@@ -343,8 +346,10 @@ def load_events(path: Union[str, Path]) -> Tuple[List[dict], List[str]]:
 def check_event_stream(
     events: Iterable[dict], require: Sequence[str] = ()
 ) -> List[str]:
-    """Validate a whole stream: per-event schema, per-``(run_id, pid)``
-    ``seq`` monotonicity, and presence of ``require``-d kinds."""
+    """Validate a whole stream: per-event schema, a gap-free strictly
+    increasing ``seq`` per ``(run_id, pid)`` emitter (a gap flags a lost
+    write — the emitter advances ``seq`` even when a write fails), and
+    presence of ``require``-d kinds."""
     problems: List[str] = []
     last_seq: Dict[Tuple[str, int], int] = {}
     seen_kinds: Dict[str, int] = {}
@@ -363,6 +368,12 @@ def check_event_stream(
                 problems.append(
                     f"event {index}: seq {seq} not monotone for pid {pid} "
                     f"(last was {last_seq[key]})"
+                )
+            elif key in last_seq and seq != last_seq[key] + 1:
+                problems.append(
+                    f"event {index}: seq gap for pid {pid} "
+                    f"({last_seq[key]} -> {seq}): emitter lost "
+                    f"{seq - last_seq[key] - 1} event(s)"
                 )
             last_seq[key] = seq
     for kind in require:

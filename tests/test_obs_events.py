@@ -15,6 +15,7 @@ Golden re-pin after an intentional event-shape change::
 import json
 import os
 import pathlib
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
@@ -102,6 +103,13 @@ class TestEventSchema:
         events.append(dict(events[0]))  # replayed seq 0
         problems = obs.check_event_stream(events)
         assert any("monotone" in p for p in problems)
+
+    def test_stream_check_catches_seq_gap(self):
+        bus = obs.EventBus()
+        events = [bus.emit("heartbeat") for _ in range(4)]
+        del events[2]  # a lost write: seq advanced but nothing recorded
+        problems = obs.check_event_stream(events)
+        assert any("gap" in p and "lost 1 event" in p for p in problems)
 
     def test_stream_check_requires_kinds(self):
         bus = obs.EventBus()
@@ -370,6 +378,13 @@ def _always_crash_worker(item, attempt=0, hang_s=0.0):
     return (item, None, 0.01, None)
 
 
+def _slow_or_crash_worker(item, attempt=0, hang_s=0.0):
+    if item == 1:
+        os._exit(1)
+    time.sleep(0.4)  # keep healthy siblings in flight across the break
+    return (item, None, 0.4, None)
+
+
 @needs_pool
 class TestCrashedWorkerRecovery:
     def test_parallel_map_survives_one_crash(self, tmp_path):
@@ -399,8 +414,38 @@ class TestCrashedWorkerRecovery:
         assert got[0] == (0, None, 0.01, None)
         metrics, error, _elapsed, _telemetry = got[1]
         assert metrics is None and "crashed" in error
-        retries = [e for e in events if e["kind"] == "retry"]
-        assert retries and retries[0]["attrs"]["reason"] == "worker-crash"
+        retries = [e["attrs"]["reason"] for e in events if e["kind"] == "retry"]
+        assert "worker-crash" in retries
+        assert monitor.crashes[1] == 2
+        # the healthy sibling may have been collateral of the pool break
+        # but must never accumulate crash strikes of its own
+        assert monitor.crashes.get(0, 0) == 0
+
+    def test_crash_strikes_never_hit_coresident_siblings(self):
+        """A doubly-crashing point must not error out healthy points that
+        happened to share the pool at break time (collateral siblings are
+        requeued unpenalized and re-run)."""
+        points = [
+            SweepPoint(design="x2", method="fa_aot"),
+            SweepPoint(design="x2", method="wallace"),
+            SweepPoint(design="x2", method="cla"),
+        ]
+        monitor = _SweepMonitor(points, bus=None, point_timeout=30.0)
+        got = {}
+        used_fallback = _run_parallel(
+            _slow_or_crash_worker,
+            list(enumerate([0, 1, 2])),
+            3,
+            lambda index, raw: got.__setitem__(index, raw),
+            monitor,
+        )
+        assert not used_fallback
+        assert got[0] == (0, None, 0.4, None)
+        assert got[2] == (2, None, 0.4, None)
+        metrics, error, _elapsed, _telemetry = got[1]
+        assert metrics is None and "crashed" in error
+        assert monitor.crashes.get(0, 0) == 0
+        assert monitor.crashes.get(2, 0) == 0
         assert monitor.crashes[1] == 2
 
 
